@@ -1,0 +1,184 @@
+(* Benchmark harness.
+
+   Usage:
+     dune exec bench/main.exe                 # paper tables (quick) + microbenches
+     dune exec bench/main.exe -- --full       # the EXPERIMENTS.md grids (slow)
+     dune exec bench/main.exe -- --tables-only
+     dune exec bench/main.exe -- --micro-only
+     dune exec bench/main.exe -- --seed 7
+
+   Part 1 regenerates every "table/figure" of the paper: one section per
+   experiment E1..E10 (Figure 1(a)-(e), Theorems 1/23/24/25, the Section 5
+   coupling invariants, the Section 1 combination claim) plus the ablations
+   A1..A4.  Part 2 is a Bechamel microbenchmark of the engine: one
+   Test.make per protocol on a reference graph, plus the substrate
+   hot paths (PRNG, alias sampling, walker stepping, graph generation). *)
+
+module Experiments = Rumor_sim.Experiments
+module Table = Rumor_sim.Table
+module Rng = Rumor_prob.Rng
+module Graph = Rumor_graph.Graph
+module P = Rumor_protocols
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: the paper's tables and figures                              *)
+(* ------------------------------------------------------------------ *)
+
+let run_tables profile ~seed =
+  print_endline "=====================================================================";
+  print_endline " Part 1: paper reproduction tables";
+  print_endline " (one experiment per figure panel / theorem; see DESIGN.md section 3)";
+  print_endline "=====================================================================";
+  let results = Experiments.run_all profile ~seed in
+  List.iter
+    (fun ((e : Experiments.t), tables) ->
+      Printf.printf "\n### %s: %s [%s]\n\n" e.Experiments.id e.Experiments.title
+        e.Experiments.paper_ref;
+      List.iter
+        (fun t ->
+          Table.print t;
+          print_newline ())
+        tables)
+    results
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel microbenchmarks of the engine                      *)
+(* ------------------------------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+
+let reference_graph =
+  lazy
+    (let rng = Rng.of_int 12345 in
+     Rumor_graph.Gen_random.random_regular_connected rng ~n:1024 ~d:10)
+
+let protocol_tests () =
+  let g = Lazy.force reference_graph in
+  let agents = Rumor_agents.Placement.Linear 1.0 in
+  let max_rounds = 100_000 in
+  let counter = ref 0 in
+  let next_seed () =
+    incr counter;
+    !counter
+  in
+  [
+    Test.make ~name:"push/regular-1024"
+      (Staged.stage (fun () ->
+           P.Push.run (Rng.of_int (next_seed ())) g ~source:0 ~max_rounds ()));
+    Test.make ~name:"push-pull/regular-1024"
+      (Staged.stage (fun () ->
+           P.Push_pull.run (Rng.of_int (next_seed ())) g ~source:0 ~max_rounds ()));
+    Test.make ~name:"visit-exchange/regular-1024"
+      (Staged.stage (fun () ->
+           P.Visit_exchange.run (Rng.of_int (next_seed ())) g ~source:0 ~agents
+             ~max_rounds ()));
+    Test.make ~name:"meet-exchange/regular-1024"
+      (Staged.stage (fun () ->
+           P.Meet_exchange.run (Rng.of_int (next_seed ())) g ~source:0 ~agents
+             ~max_rounds ()));
+    Test.make ~name:"combined/regular-1024"
+      (Staged.stage (fun () ->
+           P.Combined.run (Rng.of_int (next_seed ())) g ~source:0 ~agents ~max_rounds ()));
+    Test.make ~name:"quasi-push/regular-1024"
+      (Staged.stage (fun () ->
+           P.Quasi_push.run (Rng.of_int (next_seed ())) g ~source:0 ~max_rounds ()));
+    Test.make ~name:"cobra-2/regular-1024"
+      (Staged.stage (fun () ->
+           P.Cobra.run (Rng.of_int (next_seed ())) g ~source:0 ~branching:2 ~max_rounds ()));
+    Test.make ~name:"frog/regular-1024"
+      (Staged.stage (fun () ->
+           P.Frog.run (Rng.of_int (next_seed ())) g ~source:0 ~max_rounds ()));
+    Test.make ~name:"flood/regular-1024"
+      (Staged.stage (fun () -> P.Flood.run g ~source:0 ~max_rounds ()));
+    Test.make ~name:"async-push/regular-1024"
+      (Staged.stage (fun () ->
+           P.Async_push.run (Rng.of_int (next_seed ())) g
+             ~variant:P.Async_push.Async_push ~source:0 ~max_time:1e6));
+  ]
+
+let substrate_tests () =
+  let g = Lazy.force reference_graph in
+  let rng = Rng.of_int 777 in
+  let alias = Rumor_agents.Placement.stationary_weights g in
+  let walkers =
+    Rumor_agents.Walkers.of_spec (Rng.of_int 778) g (Rumor_agents.Placement.Linear 1.0)
+  in
+  let buckets = Rumor_agents.Walkers.Buckets.create walkers in
+  [
+    Test.make ~name:"rng/bits64"
+      (Staged.stage (fun () -> ignore (Rng.bits64 rng)));
+    Test.make ~name:"rng/int-1000"
+      (Staged.stage (fun () -> ignore (Rng.int rng 1000)));
+    Test.make ~name:"alias/sample"
+      (Staged.stage (fun () -> ignore (Rumor_prob.Alias.sample alias rng)));
+    Test.make ~name:"walkers/step-1024-agents"
+      (Staged.stage (fun () -> Rumor_agents.Walkers.step walkers));
+    Test.make ~name:"walkers/buckets-refresh"
+      (Staged.stage (fun () -> Rumor_agents.Walkers.Buckets.refresh buckets walkers));
+    Test.make ~name:"graph/random-regular-512"
+      (Staged.stage (fun () ->
+           ignore
+             (Rumor_graph.Gen_random.random_regular (Rng.of_int 991) ~n:512 ~d:10)));
+    Test.make ~name:"graph/bfs-1024"
+      (Staged.stage (fun () -> ignore (Rumor_graph.Algo.bfs_distances g 0)));
+    Test.make ~name:"graph/spectral-gap-1024"
+      (Staged.stage (fun () ->
+           ignore (Rumor_graph.Spectral.spectral_gap ~iterations:50 g)));
+    Test.make ~name:"graph/hitting-times-128"
+      (Staged.stage
+         (let small = Rumor_graph.Gen_basic.hypercube ~dim:7 in
+          fun () -> ignore (Rumor_graph.Hitting.hitting_times small 0)));
+  ]
+
+let run_micro () =
+  print_endline "=====================================================================";
+  print_endline " Part 2: engine microbenchmarks (Bechamel, monotonic clock)";
+  print_endline "=====================================================================";
+  let tests = protocol_tests () @ substrate_tests () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"rumor" tests) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  Printf.printf "\n%-40s %15s %8s\n" "benchmark" "time/run" "r^2";
+  Printf.printf "%s\n" (String.make 65 '-');
+  List.iter
+    (fun (name, ols) ->
+      let estimate =
+        match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> nan
+      in
+      let human t =
+        if t > 1e9 then Printf.sprintf "%.2f s" (t /. 1e9)
+        else if t > 1e6 then Printf.sprintf "%.2f ms" (t /. 1e6)
+        else if t > 1e3 then Printf.sprintf "%.2f us" (t /. 1e3)
+        else Printf.sprintf "%.1f ns" t
+      in
+      let r2 = match Analyze.OLS.r_square ols with Some r -> r | None -> nan in
+      Printf.printf "%-40s %15s %8.3f\n" name (human estimate) r2)
+    rows
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let has flag = List.mem flag args in
+  let seed =
+    let rec find = function
+      | "--seed" :: v :: _ -> int_of_string v
+      | _ :: rest -> find rest
+      | [] -> 1
+    in
+    find args
+  in
+  let profile = if has "--full" then Experiments.Full else Experiments.Quick in
+  let t0 = Unix.gettimeofday () in
+  if not (has "--micro-only") then run_tables profile ~seed;
+  if not (has "--tables-only") then run_micro ();
+  Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,113 @@
+(* rumor_graphgen: generate, inspect, and export the graph families.
+
+   Examples:
+     rumor_graphgen --graph heavy-tree:10
+     rumor_graphgen --graph random-regular:1024,10 --seed 7 --edges -o g.edges
+     rumor_graphgen --graph csc:6 --dot -o csc.dot *)
+
+open Cmdliner
+module Rng = Rumor_prob.Rng
+module Graph = Rumor_graph.Graph
+module Algo = Rumor_graph.Algo
+module Graph_io = Rumor_graph.Graph_io
+module Graph_spec = Rumor_sim.Graph_spec
+
+let output text = function
+  | None -> print_string text
+  | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+
+let print_analysis g =
+  let spectral_iterations = 2000 in
+  let gap = Rumor_graph.Spectral.spectral_gap ~iterations:spectral_iterations g in
+  Printf.printf "spectral gap (lazy walk): %.5f\n" gap;
+  Printf.printf "relaxation time: %.1f\n" (1.0 /. gap);
+  let phi =
+    if Graph.n g <= 16 then Rumor_graph.Spectral.conductance_exact g
+    else Rumor_graph.Spectral.conductance_sweep ~iterations:spectral_iterations g
+  in
+  Printf.printf "conductance%s: %.5f\n"
+    (if Graph.n g <= 16 then " (exact)" else " (sweep upper bound)")
+    phi;
+  Printf.printf "push-pull bound [11], ln n / phi: %.0f\n"
+    (log (float_of_int (Graph.n g)) /. phi);
+  if Graph.n g <= 200 then begin
+    let h = Rumor_graph.Hitting.hitting_times g 0 in
+    let worst = Array.fold_left Float.max 0.0 h in
+    Printf.printf "max hitting time to vertex 0 (exact): %.1f\n" worst
+  end;
+  if Graph.n g <= 30 then
+    try
+      let lazy_walk = Rumor_graph.Algo.is_bipartite g in
+      Printf.printf "max meeting time (exact%s): %.1f\n"
+        (if lazy_walk then ", lazy walks" else "")
+        (Rumor_graph.Hitting.max_meeting_time ~lazy_walk g)
+    with Invalid_argument _ -> ()
+
+let run graph_text seed dot edges analysis out =
+  match Graph_spec.parse graph_text with
+  | Error m -> `Error (false, m)
+  | Ok spec ->
+      let rng = Rng.of_int seed in
+      let g, source = Graph_spec.build rng spec in
+      if dot then output (Graph_io.to_dot g) out
+      else if edges then output (Graph_io.to_edge_list g) out
+      else begin
+        Printf.printf "%s\n" (Format.asprintf "%a" Graph.pp g);
+        Printf.printf "default source: %d\n" source;
+        Printf.printf "connected: %b\n" (Algo.is_connected g);
+        Printf.printf "bipartite: %b\n" (Algo.is_bipartite g);
+        if Algo.is_connected g then
+          if Graph.n g <= 4096 then
+            Printf.printf "diameter: %d\n" (Algo.diameter g)
+          else
+            Printf.printf "diameter (double-sweep lower bound): %d\n"
+              (Algo.diameter_lower_bound g);
+        Printf.printf "degree histogram:\n";
+        List.iter
+          (fun (d, c) -> Printf.printf "  degree %d: %d vertices\n" d c)
+          (Algo.degree_histogram g);
+        if analysis && Algo.is_connected g then print_analysis g
+      end;
+      `Ok ()
+
+let graph_arg =
+  let doc = "Graph specification (see rumor_run --help for the families)." in
+  Arg.(required & opt (some string) None & info [ "g"; "graph" ] ~docv:"SPEC" ~doc)
+
+let seed_arg =
+  let doc = "Random seed (used by the random families)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+
+let dot_arg =
+  let doc = "Emit Graphviz DOT instead of statistics." in
+  Arg.(value & flag & info [ "dot" ] ~doc)
+
+let edges_arg =
+  let doc = "Emit the edge-list format instead of statistics." in
+  Arg.(value & flag & info [ "edges" ] ~doc)
+
+let analysis_arg =
+  let doc =
+    "Also print random-walk analysis: spectral gap, conductance, and (on \
+     small graphs) exact hitting and meeting times."
+  in
+  Arg.(value & flag & info [ "analysis" ] ~doc)
+
+let out_arg =
+  let doc = "Write the output to this file instead of stdout." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let cmd =
+  let doc = "generate and inspect the graph families used by the experiments" in
+  Cmd.v
+    (Cmd.info "rumor_graphgen" ~version:"1.0.0" ~doc)
+    Term.(
+      ret
+        (const run $ graph_arg $ seed_arg $ dot_arg $ edges_arg $ analysis_arg
+       $ out_arg))
+
+let () = exit (Cmd.eval cmd)

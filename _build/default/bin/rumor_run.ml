@@ -1,0 +1,162 @@
+(* rumor_run: run one protocol on one graph and report broadcast times.
+
+   Examples:
+     rumor_run --graph star:1000 --protocol push --reps 10
+     rumor_run --graph double-star:512 --protocol push-pull --protocol visit-exchange
+     rumor_run --graph random-regular:4096,12 --protocol meet-exchange --alpha 2 *)
+
+open Cmdliner
+module Rng = Rumor_prob.Rng
+module Placement = Rumor_agents.Placement
+module Protocol = Rumor_sim.Protocol
+module Graph_spec = Rumor_sim.Graph_spec
+module Replicate = Rumor_sim.Replicate
+module Stats = Rumor_prob.Stats
+
+let protocol_of_string ~alpha ~laziness name =
+  let agents = Placement.Linear alpha in
+  match String.lowercase_ascii name with
+  | "push" -> Ok Protocol.Push
+  | "push-pull" | "pushpull" | "ppull" -> Ok Protocol.Push_pull
+  | "pull" -> Ok Protocol.pull
+  | "visit-exchange" | "visitx" -> Ok (Protocol.Visit_exchange { agents; laziness })
+  | "meet-exchange" | "meetx" -> Ok (Protocol.Meet_exchange { agents; laziness })
+  | "combined" -> Ok (Protocol.Combined { agents; laziness })
+  | "quasi-push" | "quasipush" -> Ok Protocol.Quasi_push
+  | "cobra" -> Ok (Protocol.cobra ())
+  | "frog" -> Ok (Protocol.frog ())
+  | "flood" -> Ok Protocol.flood
+  | other ->
+      Error
+        (Printf.sprintf
+           "unknown protocol %S (known: push, push-pull, visit-exchange, \
+            meet-exchange, combined, quasi-push, cobra, frog, flood)"
+           other)
+
+let laziness_of_string = function
+  | "off" -> Ok Protocol.Lazy_off
+  | "on" -> Ok Protocol.Lazy_on
+  | "auto" -> Ok Protocol.Lazy_auto
+  | other -> Error (Printf.sprintf "bad laziness %S (off|on|auto)" other)
+
+let run graph_text protocols source_override seed reps max_rounds alpha lazy_text
+    show_curve =
+  let ( let* ) r f = match r with Ok v -> f v | Error m -> `Error (false, m) in
+  let* spec =
+    match Graph_spec.parse graph_text with Ok s -> Ok s | Error m -> Error m
+  in
+  let* laziness = laziness_of_string lazy_text in
+  let* protocol_specs =
+    List.fold_left
+      (fun acc name ->
+        match acc with
+        | Error _ as e -> e
+        | Ok acc -> (
+            match protocol_of_string ~alpha ~laziness name with
+            | Ok p -> Ok (p :: acc)
+            | Error m -> Error m))
+      (Ok []) (List.rev protocols)
+  in
+  let protocol_specs =
+    if protocol_specs = [] then [ Protocol.Push ] else protocol_specs
+  in
+  (* describe the graph once *)
+  let probe_rng = Rng.of_int seed in
+  let g0, default_source = Graph_spec.build probe_rng spec in
+  Printf.printf "graph %s: %s\n" (Graph_spec.to_string spec)
+    (Format.asprintf "%a" Rumor_graph.Graph.pp g0);
+  let source = Option.value source_override ~default:default_source in
+  if source < 0 || source >= Rumor_graph.Graph.n g0 then
+    `Error (false, Printf.sprintf "source %d out of range" source)
+  else begin
+    Printf.printf "source %d, %d replication(s), seed %d, round cap %d\n\n" source
+      reps seed max_rounds;
+    List.iter
+      (fun p ->
+        let graph rng =
+          if Graph_spec.is_random spec then
+            let g, s = Graph_spec.build rng spec in
+            (g, Option.value source_override ~default:s)
+          else (g0, source)
+        in
+        let m = Replicate.broadcast_times ~seed ~reps ~graph ~spec:p ~max_rounds in
+        let s = m.Replicate.summary in
+        Printf.printf "%-14s mean %.1f  median %.1f  min %.0f  max %.0f%s\n"
+          (Protocol.name p) s.Stats.mean s.Stats.median s.Stats.min s.Stats.max
+          (if m.Replicate.capped > 0 then
+             Printf.sprintf "  (%d/%d capped)" m.Replicate.capped reps
+           else "");
+        if show_curve then begin
+          let rng = Rng.of_int seed in
+          let g, s0 = graph rng in
+          let r = Protocol.run p rng g ~source:s0 ~max_rounds in
+          let curve = r.Rumor_protocols.Run_result.informed_curve in
+          Printf.printf "  curve %s"
+            (Rumor_sim.Sparkline.render_ints ~width:50 curve);
+          (match Rumor_sim.Curve_stats.half_time r with
+          | Some h -> Printf.printf "  (50%% at round %d)" h
+          | None -> ());
+          Printf.printf "\n"
+        end)
+      protocol_specs;
+    `Ok ()
+  end
+
+let graph_arg =
+  let doc =
+    "Graph specification, e.g. star:1000, double-star:512, heavy-tree:11, \
+     random-regular:4096,12.  Families: " ^ String.concat ", " Graph_spec.families
+  in
+  Arg.(required & opt (some string) None & info [ "g"; "graph" ] ~docv:"SPEC" ~doc)
+
+let protocol_arg =
+  let doc = "Protocol to run (repeatable): push, push-pull, visit-exchange, meet-exchange, combined." in
+  Arg.(value & opt_all string [] & info [ "p"; "protocol" ] ~docv:"NAME" ~doc)
+
+let source_arg =
+  let doc = "Source vertex (default: the family's natural source)." in
+  Arg.(value & opt (some int) None & info [ "source" ] ~docv:"V" ~doc)
+
+let seed_arg =
+  let doc = "Random seed; every output is a deterministic function of it." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+
+let reps_arg =
+  let doc = "Number of independent replications." in
+  Arg.(value & opt int 5 & info [ "r"; "reps" ] ~docv:"N" ~doc)
+
+let max_rounds_arg =
+  let doc = "Round cap per replication." in
+  Arg.(value & opt int 1_000_000 & info [ "max-rounds" ] ~docv:"N" ~doc)
+
+let alpha_arg =
+  let doc = "Agent density: the agent-based protocols use round(alpha * n) agents." in
+  Arg.(value & opt float 1.0 & info [ "alpha" ] ~docv:"A" ~doc)
+
+let lazy_arg =
+  let doc = "Laziness of the random walks: off, on, or auto (lazy iff bipartite)." in
+  Arg.(value & opt string "auto" & info [ "lazy" ] ~docv:"MODE" ~doc)
+
+let curve_arg =
+  let doc = "Also print a sampled informed-count curve of one run." in
+  Arg.(value & flag & info [ "curve" ] ~doc)
+
+let cmd =
+  let doc = "run rumor-spreading protocols on a graph" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Simulates the protocols of Giakkoupis, Mallmann-Trenn and Saribekyan, \
+         \"How to Spread a Rumor: Call Your Neighbors or Take a Walk?\" (PODC \
+         2019) on a chosen graph and reports broadcast-time statistics.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "rumor_run" ~version:"1.0.0" ~doc ~man)
+    Term.(
+      ret
+        (const run $ graph_arg $ protocol_arg $ source_arg $ seed_arg $ reps_arg
+       $ max_rounds_arg $ alpha_arg $ lazy_arg $ curve_arg))
+
+let () = exit (Cmd.eval cmd)

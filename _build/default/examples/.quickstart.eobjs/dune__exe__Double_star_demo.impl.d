@@ -1,0 +1,1 @@
+examples/double_star_demo.ml: Array Format List Rumor_agents Rumor_graph Rumor_prob Rumor_protocols

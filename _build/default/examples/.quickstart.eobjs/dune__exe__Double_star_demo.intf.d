@@ -1,0 +1,1 @@
+examples/double_star_demo.mli:

@@ -1,0 +1,1 @@
+examples/fairness_demo.ml: Format Rumor_agents Rumor_graph Rumor_prob Rumor_protocols

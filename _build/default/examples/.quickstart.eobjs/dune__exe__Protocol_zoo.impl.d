@@ -1,0 +1,1 @@
+examples/protocol_zoo.ml: Format List Rumor_agents Rumor_graph Rumor_prob Rumor_protocols Rumor_sim

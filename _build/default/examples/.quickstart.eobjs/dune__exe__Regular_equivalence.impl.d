@@ -1,0 +1,1 @@
+examples/regular_equivalence.ml: Array Float Format List Option Printf Rumor_agents Rumor_graph Rumor_prob Rumor_protocols

@@ -1,0 +1,1 @@
+examples/regular_equivalence.mli:

@@ -1,0 +1,1 @@
+examples/rumor_stream.ml: Array Format Rumor_agents Rumor_graph Rumor_prob Rumor_protocols String

@@ -1,0 +1,1 @@
+examples/rumor_stream.mli:

@@ -1,0 +1,1 @@
+lib/agents/placement.ml: Array Float Rumor_graph Rumor_prob

@@ -1,0 +1,1 @@
+lib/agents/placement.mli: Rumor_graph Rumor_prob

@@ -1,0 +1,1 @@
+lib/agents/walkers.ml: Array Placement Rumor_graph Rumor_prob

@@ -1,0 +1,1 @@
+lib/agents/walkers.mli: Placement Rumor_graph Rumor_prob

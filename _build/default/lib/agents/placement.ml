@@ -1,0 +1,32 @@
+module Rng = Rumor_prob.Rng
+module Alias = Rumor_prob.Alias
+module Graph = Rumor_graph.Graph
+
+type spec =
+  | Stationary of int
+  | One_per_vertex
+  | All_at of int * int
+  | Linear of float
+
+let count spec g =
+  match spec with
+  | Stationary k -> k
+  | One_per_vertex -> Graph.n g
+  | All_at (_, k) -> k
+  | Linear alpha ->
+      let k = int_of_float (Float.round (alpha *. float_of_int (Graph.n g))) in
+      max k 1
+
+let stationary_weights g = Alias.of_ints (Graph.degrees g)
+
+let place rng spec g =
+  let k = count spec g in
+  if k <= 0 then invalid_arg "Placement.place: no agents";
+  match spec with
+  | Stationary _ | Linear _ ->
+      let alias = stationary_weights g in
+      Array.init k (fun _ -> Alias.sample alias rng)
+  | One_per_vertex -> Array.init (Graph.n g) (fun v -> v)
+  | All_at (v, _) ->
+      if v < 0 || v >= Graph.n g then invalid_arg "Placement.place: vertex out of range";
+      Array.make k v

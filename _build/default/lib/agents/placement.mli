@@ -1,0 +1,27 @@
+(** Initial placement of agents on a graph.
+
+    The paper's default is the stationary distribution of the simple random
+    walk — vertex [v] with probability [deg v / 2|E|] — which makes the
+    per-round number of visits to every vertex exactly degree-fair from
+    round zero.  The one-agent-per-vertex variant is the alternative under
+    which the paper notes its regular-graph results still hold. *)
+
+type spec =
+  | Stationary of int  (** [Stationary k]: k agents, i.i.d. degree-biased *)
+  | One_per_vertex     (** exactly one agent starting on each vertex *)
+  | All_at of int * int  (** [All_at (v, k)]: k agents all on vertex [v] *)
+  | Linear of float
+      (** [Linear alpha]: [round (alpha * n)] agents, i.i.d. stationary —
+          the paper's [|A| = alpha * n] convention *)
+
+val count : spec -> Rumor_graph.Graph.t -> int
+(** Number of agents the spec yields on the given graph. *)
+
+val place : Rumor_prob.Rng.t -> spec -> Rumor_graph.Graph.t -> int array
+(** [place rng spec g] materializes initial positions, one entry per
+    agent.  @raise Invalid_argument if the spec is empty or invalid for
+    [g] (e.g. [All_at] with an out-of-range vertex). *)
+
+val stationary_weights : Rumor_graph.Graph.t -> Rumor_prob.Alias.t
+(** The alias table for the stationary distribution of [g], exposed for
+    tests and for callers that place agents repeatedly. *)

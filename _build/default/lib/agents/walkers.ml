@@ -1,0 +1,96 @@
+module Rng = Rumor_prob.Rng
+module Graph = Rumor_graph.Graph
+
+type t = {
+  graph : Graph.t;
+  rng : Rng.t;
+  pos : int array;
+  occ : int array;
+  lazy_walk : bool;
+  mutable round : int;
+}
+
+let create ?(lazy_walk = false) rng graph pos =
+  let n = Graph.n graph in
+  let occ = Array.make n 0 in
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= n then invalid_arg "Walkers.create: position out of range";
+      if Graph.degree graph v = 0 then
+        invalid_arg "Walkers.create: agent on isolated vertex";
+      occ.(v) <- occ.(v) + 1)
+    pos;
+  if Array.length pos = 0 then invalid_arg "Walkers.create: no agents";
+  { graph; rng; pos; occ; lazy_walk; round = 0 }
+
+let of_spec ?lazy_walk rng graph spec =
+  create ?lazy_walk rng graph (Placement.place rng spec graph)
+
+let graph w = w.graph
+let agent_count w = Array.length w.pos
+let is_lazy w = w.lazy_walk
+let position w a = w.pos.(a)
+let positions w = w.pos
+let occupancy w v = w.occ.(v)
+let round w = w.round
+
+let move_one w a =
+  let u = w.pos.(a) in
+  if w.lazy_walk && Rng.bool w.rng then u
+  else begin
+    let v = Graph.random_neighbor w.graph w.rng u in
+    w.occ.(u) <- w.occ.(u) - 1;
+    w.occ.(v) <- w.occ.(v) + 1;
+    w.pos.(a) <- v;
+    v
+  end
+
+let step w =
+  for a = 0 to Array.length w.pos - 1 do
+    ignore (move_one w a)
+  done;
+  w.round <- w.round + 1
+
+let step_with w f =
+  for a = 0 to Array.length w.pos - 1 do
+    let from = w.pos.(a) in
+    let to_ = move_one w a in
+    f a from to_
+  done;
+  w.round <- w.round + 1
+
+module Buckets = struct
+  type b = {
+    starts : int array;  (* length n+1: prefix sums of per-vertex counts *)
+    ids : int array;     (* length = agent count: agent ids grouped by vertex *)
+  }
+
+  let create w =
+    {
+      starts = Array.make (Graph.n w.graph + 1) 0;
+      ids = Array.make (Array.length w.pos) 0;
+    }
+
+  let refresh b w =
+    let n = Graph.n w.graph in
+    Array.fill b.starts 0 (n + 1) 0;
+    (* counting sort keyed by vertex; stable in agent order *)
+    Array.iter (fun v -> b.starts.(v + 1) <- b.starts.(v + 1) + 1) w.pos;
+    for v = 0 to n - 1 do
+      b.starts.(v + 1) <- b.starts.(v + 1) + b.starts.(v)
+    done;
+    let cursor = Array.copy b.starts in
+    Array.iteri
+      (fun a v ->
+        b.ids.(cursor.(v)) <- a;
+        cursor.(v) <- cursor.(v) + 1)
+      w.pos
+
+  let count_at b v = b.starts.(v + 1) - b.starts.(v)
+  let agents_at b v i = b.ids.(b.starts.(v) + i)
+
+  let iter_at b v f =
+    for i = b.starts.(v) to b.starts.(v + 1) - 1 do
+      f b.ids.(i)
+    done
+end

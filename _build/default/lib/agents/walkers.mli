@@ -1,0 +1,67 @@
+(** A population of synchronized independent random walks.
+
+    One {!step} advances every agent by one round: each agent moves to a
+    uniformly random neighbor of its current vertex (or, for lazy walks,
+    first flips a fair coin to stay put — the variant the paper uses for
+    meet-exchange on bipartite graphs).  Per-vertex occupancy counts are
+    maintained incrementally, so protocols can ask "how many agents are on
+    [v] right now" in O(1). *)
+
+type t
+
+val create :
+  ?lazy_walk:bool -> Rumor_prob.Rng.t -> Rumor_graph.Graph.t -> int array -> t
+(** [create rng g positions] takes ownership of the [positions] array (agent
+    index → vertex).  [lazy_walk] defaults to [false].  The generator is
+    retained and consumed by subsequent {!step}s. *)
+
+val of_spec :
+  ?lazy_walk:bool -> Rumor_prob.Rng.t -> Rumor_graph.Graph.t -> Placement.spec -> t
+(** Convenience: {!Placement.place} then {!create}. *)
+
+val graph : t -> Rumor_graph.Graph.t
+val agent_count : t -> int
+val is_lazy : t -> bool
+
+val position : t -> int -> int
+(** [position w a] is agent [a]'s current vertex. *)
+
+val positions : t -> int array
+(** The live positions array (not a copy); callers must not mutate it. *)
+
+val occupancy : t -> int -> int
+(** [occupancy w v] is the number of agents currently on [v]. *)
+
+val round : t -> int
+(** Number of steps taken so far (round 0 = initial placement). *)
+
+val step : t -> unit
+(** Advance every agent one round, in agent-index order. *)
+
+val step_with : t -> (int -> int -> int -> unit) -> unit
+(** [step_with w f] is {!step} but calls [f agent from to_] for every agent
+    after its move (lazy stays report [from = to_]). *)
+
+(** {1 Per-round vertex buckets}
+
+    meet-exchange needs, each round, the set of agents co-located at each
+    vertex.  [Buckets] computes this grouping in O(agents + n) with no
+    allocation after the first call. *)
+module Buckets : sig
+  type b
+
+  val create : t -> b
+  (** Allocate bucket storage sized for [t]'s graph and population. *)
+
+  val refresh : b -> t -> unit
+  (** Recompute the grouping from the walker's current positions. *)
+
+  val agents_at : b -> int -> int -> int
+  (** [agents_at b v i] is the [i]-th agent on vertex [v], in increasing
+      agent order, [0 <= i < count_at b v]. *)
+
+  val count_at : b -> int -> int
+
+  val iter_at : b -> int -> (int -> unit) -> unit
+  (** Iterate the agents on a vertex in increasing agent order. *)
+end

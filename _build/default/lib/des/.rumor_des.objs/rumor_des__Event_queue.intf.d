@@ -1,0 +1,1 @@
+lib/des/event_queue.mli:

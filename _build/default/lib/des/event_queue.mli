@@ -1,0 +1,28 @@
+(** A binary min-heap priority queue keyed by event time.
+
+    Substrate for the asynchronous protocol variants (Section 2 of the
+    paper discusses asynchronous push/push-pull, where every vertex acts at
+    the arrival times of an independent unit-rate Poisson process).  Ties
+    are broken by insertion order, making event processing deterministic
+    given the generator seed. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+val push : 'a t -> float -> 'a -> unit
+(** [push q time payload] schedules [payload] at [time].
+    @raise Invalid_argument if [time] is NaN. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event, if any.  Events with equal times
+    come out in insertion order. *)
+
+val peek_time : 'a t -> float option
+(** Time of the earliest event without removing it. *)
+
+val clear : 'a t -> unit

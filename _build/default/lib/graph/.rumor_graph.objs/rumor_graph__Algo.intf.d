@@ -1,0 +1,1 @@
+lib/graph/algo.mli: Graph

@@ -1,0 +1,1 @@
+lib/graph/gen_basic.ml: Graph List

@@ -1,0 +1,1 @@
+lib/graph/gen_random.ml: Algo Array Graph Hashtbl List Rumor_prob

@@ -1,0 +1,1 @@
+lib/graph/gen_random.mli: Graph Rumor_prob

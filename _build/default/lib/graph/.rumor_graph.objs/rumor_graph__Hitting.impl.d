@@ -1,0 +1,1 @@
+lib/graph/hitting.ml: Algo Array Float Graph List Printf Rumor_prob

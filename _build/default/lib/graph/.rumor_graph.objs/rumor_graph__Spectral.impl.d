@@ -1,0 +1,1 @@
+lib/graph/spectral.ml: Algo Array Float Graph Printf

@@ -1,0 +1,34 @@
+(** Graph algorithms used for validation and for calibrating experiments
+    (broadcast time is trivially bounded below by source eccentricity). *)
+
+val bfs_distances : Graph.t -> int -> int array
+(** [bfs_distances g src] is the array of hop distances from [src];
+    unreachable vertices get [-1]. *)
+
+val is_connected : Graph.t -> bool
+
+val component_count : Graph.t -> int
+
+val components : Graph.t -> int array
+(** [components g] labels each vertex with a component id in
+    [0 .. component_count - 1]; ids are assigned in order of discovery. *)
+
+val eccentricity : Graph.t -> int -> int
+(** [eccentricity g src] is the maximum BFS distance from [src].
+    @raise Invalid_argument if [g] is disconnected. *)
+
+val diameter : Graph.t -> int
+(** Exact diameter by all-pairs BFS; O(n * m), intended for test-sized
+    graphs. @raise Invalid_argument if [g] is disconnected. *)
+
+val diameter_lower_bound : Graph.t -> int
+(** Double-sweep heuristic: one BFS from vertex 0, a second from the
+    farthest vertex found.  Exact on trees; a lower bound in general.
+    O(m). *)
+
+val is_bipartite : Graph.t -> bool
+(** 2-colorability check; meet-exchange must use lazy walks on bipartite
+    graphs (Section 3 of the paper). *)
+
+val degree_histogram : Graph.t -> (int * int) list
+(** [(degree, count)] pairs sorted by degree. *)

@@ -1,0 +1,131 @@
+let complete n =
+  if n < 1 then invalid_arg "Gen_basic.complete: n < 1";
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_edges ~n !edges
+
+let path n =
+  if n < 1 then invalid_arg "Gen_basic.path: n < 1";
+  Graph.of_edges ~n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let cycle n =
+  if n < 3 then invalid_arg "Gen_basic.cycle: n < 3";
+  Graph.of_edges ~n (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let star ~leaves =
+  if leaves < 1 then invalid_arg "Gen_basic.star: leaves < 1";
+  Graph.of_edges ~n:(leaves + 1) (List.init leaves (fun i -> (0, i + 1)))
+
+let complete_binary_tree ~levels =
+  if levels < 1 then invalid_arg "Gen_basic.complete_binary_tree: levels < 1";
+  let n = (1 lsl levels) - 1 in
+  let edges = ref [] in
+  for i = 1 to n - 1 do
+    edges := (i, (i - 1) / 2) :: !edges
+  done;
+  Graph.of_edges ~n !edges
+
+let grid ~rows ~cols =
+  if rows < 1 || cols < 1 then invalid_arg "Gen_basic.grid: empty dimension";
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (id r c, id r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (id r c, id (r + 1) c) :: !edges
+    done
+  done;
+  Graph.of_edges ~n:(rows * cols) !edges
+
+let torus ~rows ~cols =
+  if rows < 3 || cols < 3 then invalid_arg "Gen_basic.torus: need rows, cols >= 3";
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      edges := (id r c, id r ((c + 1) mod cols)) :: !edges;
+      edges := (id r c, id ((r + 1) mod rows) c) :: !edges
+    done
+  done;
+  Graph.of_edges ~n:(rows * cols) !edges
+
+let hypercube ~dim =
+  if dim < 1 then invalid_arg "Gen_basic.hypercube: dim < 1";
+  if dim > 24 then invalid_arg "Gen_basic.hypercube: dim too large";
+  let n = 1 lsl dim in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for b = 0 to dim - 1 do
+      let v = u lxor (1 lsl b) in
+      if u < v then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_edges ~n !edges
+
+let necklace ~cliques ~clique_size =
+  if cliques < 3 then invalid_arg "Gen_basic.necklace: cliques < 3";
+  if clique_size < 4 then invalid_arg "Gen_basic.necklace: clique_size < 4";
+  let s = clique_size in
+  let n = cliques * s in
+  (* vertices of clique i are i*s .. i*s + s - 1; ports are the first two.
+     The internal port edge (i*s, i*s+1) is dropped and replaced by the
+     inter-clique edge (i*s+1, ((i+1) mod cliques)*s), keeping every degree
+     equal to s-1. *)
+  let edges = ref [] in
+  for i = 0 to cliques - 1 do
+    let base = i * s in
+    for a = 0 to s - 1 do
+      for b = a + 1 to s - 1 do
+        if not (a = 0 && b = 1) then edges := (base + a, base + b) :: !edges
+      done
+    done;
+    let next_base = (i + 1) mod cliques * s in
+    edges := (base + 1, next_base) :: !edges
+  done;
+  Graph.of_edges ~n !edges
+
+let barbell ~clique_size ~bridge_len =
+  if clique_size < 2 then invalid_arg "Gen_basic.barbell: clique_size < 2";
+  if bridge_len < 0 then invalid_arg "Gen_basic.barbell: bridge_len < 0";
+  let s = clique_size in
+  let n = (2 * s) + bridge_len in
+  let edges = ref [] in
+  let add_clique base =
+    for a = 0 to s - 1 do
+      for b = a + 1 to s - 1 do
+        edges := (base + a, base + b) :: !edges
+      done
+    done
+  in
+  add_clique 0;
+  add_clique (s + bridge_len);
+  (* bridge path: vertex s-1 .. s .. s+bridge_len-1 .. s+bridge_len *)
+  let prev = ref (s - 1) in
+  for i = 0 to bridge_len - 1 do
+    edges := (!prev, s + i) :: !edges;
+    prev := s + i
+  done;
+  edges := (!prev, s + bridge_len) :: !edges;
+  Graph.of_edges ~n !edges
+
+let lollipop ~clique_size ~tail_len =
+  if clique_size < 2 then invalid_arg "Gen_basic.lollipop: clique_size < 2";
+  if tail_len < 1 then invalid_arg "Gen_basic.lollipop: tail_len < 1";
+  let s = clique_size in
+  let n = s + tail_len in
+  let edges = ref [] in
+  for a = 0 to s - 1 do
+    for b = a + 1 to s - 1 do
+      edges := (a, b) :: !edges
+    done
+  done;
+  let prev = ref (s - 1) in
+  for i = 0 to tail_len - 1 do
+    edges := (!prev, s + i) :: !edges;
+    prev := s + i
+  done;
+  Graph.of_edges ~n !edges

@@ -1,0 +1,110 @@
+type double_star = {
+  ds_graph : Graph.t;
+  ds_center_a : int;
+  ds_center_b : int;
+  ds_leaf_a : int;
+}
+
+let double_star ~leaves_per_star =
+  if leaves_per_star < 1 then invalid_arg "Gen_paper.double_star: leaves < 1";
+  let l = leaves_per_star in
+  (* centers 0 and 1; leaves of a: 2 .. l+1; leaves of b: l+2 .. 2l+1 *)
+  let edges = ref [ (0, 1) ] in
+  for i = 0 to l - 1 do
+    edges := (0, 2 + i) :: !edges;
+    edges := (1, 2 + l + i) :: !edges
+  done;
+  let g = Graph.of_edges ~n:(2 + (2 * l)) !edges in
+  { ds_graph = g; ds_center_a = 0; ds_center_b = 1; ds_leaf_a = 2 }
+
+type heavy_tree = {
+  ht_graph : Graph.t;
+  ht_root : int;
+  ht_first_leaf : int;
+  ht_leaf_count : int;
+}
+
+(* Binary-heap numbering: vertex i's children are 2i+1 and 2i+2; with
+   [levels] levels the tree has 2^levels - 1 vertices and the leaves are the
+   last 2^(levels-1). *)
+let heavy_tree_edges ~levels =
+  let n = (1 lsl levels) - 1 in
+  let first_leaf = (1 lsl (levels - 1)) - 1 in
+  let edges = ref [] in
+  for i = 1 to n - 1 do
+    edges := (i, (i - 1) / 2) :: !edges
+  done;
+  for a = first_leaf to n - 1 do
+    for b = a + 1 to n - 1 do
+      edges := (a, b) :: !edges
+    done
+  done;
+  (n, first_leaf, !edges)
+
+let heavy_binary_tree ~levels =
+  if levels < 2 then invalid_arg "Gen_paper.heavy_binary_tree: levels < 2";
+  let n, first_leaf, edges = heavy_tree_edges ~levels in
+  {
+    ht_graph = Graph.of_edges ~n edges;
+    ht_root = 0;
+    ht_first_leaf = first_leaf;
+    ht_leaf_count = n - first_leaf;
+  }
+
+type siamese = {
+  si_graph : Graph.t;
+  si_root : int;
+  si_leaf_left : int;
+  si_leaf_right : int;
+}
+
+let siamese_heavy_tree ~levels =
+  if levels < 2 then invalid_arg "Gen_paper.siamese_heavy_tree: levels < 2";
+  let n1, first_leaf, edges_left = heavy_tree_edges ~levels in
+  (* The right copy reuses vertex 0 as the shared root; its vertex i > 0 is
+     renamed to n1 + i - 1. *)
+  let rename i = if i = 0 then 0 else n1 + i - 1 in
+  let edges_right = List.map (fun (u, v) -> (rename u, rename v)) edges_left in
+  let n = (2 * n1) - 1 in
+  let g = Graph.of_edges ~n (edges_left @ edges_right) in
+  {
+    si_graph = g;
+    si_root = 0;
+    si_leaf_left = first_leaf;
+    si_leaf_right = rename first_leaf;
+  }
+
+type csc = {
+  csc_graph : Graph.t;
+  csc_k : int;
+  csc_ring : int array;
+  csc_a_clique_vertex : int;
+}
+
+let cycle_stars_cliques ~k =
+  if k < 3 then invalid_arg "Gen_paper.cycle_stars_cliques: k < 3";
+  (* layout: ring vertices c_i = i (i < k); star leaves l_{i,j} = k + i*k + j;
+     clique vertices q_{i,j,t} = k + k^2 + ((i*k + j) * k) + t. *)
+  let c i = i in
+  let l i j = k + (i * k) + j in
+  let q i j t = k + (k * k) + (((i * k) + j) * k) + t in
+  let n = k + (k * k) + (k * k * k) in
+  let edges = ref [] in
+  for i = 0 to k - 1 do
+    edges := (c i, c ((i + 1) mod k)) :: !edges;
+    for j = 0 to k - 1 do
+      edges := (c i, l i j) :: !edges;
+      for t = 0 to k - 1 do
+        edges := (l i j, q i j t) :: !edges;
+        for t' = t + 1 to k - 1 do
+          edges := (q i j t, q i j t') :: !edges
+        done
+      done
+    done
+  done;
+  {
+    csc_graph = Graph.of_edges ~n !edges;
+    csc_k = k;
+    csc_ring = Array.init k c;
+    csc_a_clique_vertex = q 0 0 0;
+  }

@@ -1,0 +1,208 @@
+module Rng = Rumor_prob.Rng
+
+let erdos_renyi rng ~n ~p =
+  if n < 1 then invalid_arg "Gen_random.erdos_renyi: n < 1";
+  if not (p >= 0.0 && p <= 1.0) then invalid_arg "Gen_random.erdos_renyi: bad p";
+  let edges = ref [] in
+  if p >= 1.0 then
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        edges := (u, v) :: !edges
+      done
+    done
+  else if p > 0.0 then begin
+    (* Iterate over the n(n-1)/2 potential edges with geometric skips: the
+       index of the next present edge is current + Geometric(p). *)
+    let total = n * (n - 1) / 2 in
+    let log1mp = log1p (-.p) in
+    let idx = ref (-1) in
+    let continue = ref true in
+    while !continue do
+      let u = 1.0 -. Rng.float rng 1.0 in
+      let gap = int_of_float (ceil (log u /. log1mp)) in
+      let gap = if gap < 1 then 1 else gap in
+      idx := !idx + gap;
+      if !idx >= total then continue := false
+      else begin
+        (* decode linear index into (row, col) of the strict upper triangle *)
+        let rec find_row r rem =
+          let row_len = n - 1 - r in
+          if rem < row_len then (r, r + 1 + rem) else find_row (r + 1) (rem - row_len)
+        in
+        let u', v' = find_row 0 !idx in
+        edges := (u', v') :: !edges
+      end
+    done
+  end;
+  Graph.of_edges ~n !edges
+
+let gnm rng ~n ~m =
+  if n < 1 then invalid_arg "Gen_random.gnm: n < 1";
+  let max_m = n * (n - 1) / 2 in
+  if m < 0 || m > max_m then invalid_arg "Gen_random.gnm: m out of range";
+  let seen = Hashtbl.create (2 * m) in
+  let edges = ref [] in
+  let count = ref 0 in
+  while !count < m do
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v then begin
+      let key = (min u v * n) + max u v in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        edges := (min u v, max u v) :: !edges;
+        incr count
+      end
+    end
+  done;
+  Graph.of_edges ~n !edges
+
+(* Configuration-model pairing followed by defect repair: loops and parallel
+   edges left by the random pairing are removed by random degree-preserving
+   edge switches.  This is the standard practical generator; the output
+   distribution is not exactly uniform over d-regular graphs but is
+   contiguity-equivalent for the structural properties measured here. *)
+let rec random_regular rng ~n ~d =
+  if d <= 0 || d >= n then invalid_arg "Gen_random.random_regular: need 0 < d < n";
+  if n * d mod 2 <> 0 then invalid_arg "Gen_random.random_regular: n*d must be even";
+  if d = n - 1 then
+    (* the complete graph is the unique (n-1)-regular graph on n vertices,
+       and the switch repair cannot operate there *)
+    let edges = ref [] in
+    let () =
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          edges := (u, v) :: !edges
+        done
+      done
+    in
+    Graph.of_edges ~n !edges
+  else if 2 * d > n then
+    (* dense regime: sample the (n-1-d)-regular complement instead, where
+       the pairing model is simple with decent probability *)
+    complement (random_regular rng ~n ~d:(n - 1 - d))
+  else random_regular_sparse rng ~n ~d
+
+and complement g =
+  let n = Graph.n g in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if not (Graph.mem_edge g u v) then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_edges ~n !edges
+
+and random_regular_sparse rng ~n ~d =
+  let attempt () =
+    let stubs = Array.make (n * d) 0 in
+    let pos = ref 0 in
+    for v = 0 to n - 1 do
+      for _ = 1 to d do
+        stubs.(!pos) <- v;
+        incr pos
+      done
+    done;
+    Rng.shuffle rng stubs;
+    let half = n * d / 2 in
+    (* edge list as parallel arrays so endpoints can be rewired in place *)
+    let ea = Array.make half 0 and eb = Array.make half 0 in
+    for i = 0 to half - 1 do
+      ea.(i) <- stubs.(2 * i);
+      eb.(i) <- stubs.((2 * i) + 1)
+    done;
+    let key u v = (min u v * n) + max u v in
+    let seen = Hashtbl.create (2 * half) in
+    let bad = ref [] in
+    for i = 0 to half - 1 do
+      let u = ea.(i) and v = eb.(i) in
+      if u = v || Hashtbl.mem seen (key u v) then bad := i :: !bad
+      else Hashtbl.add seen (key u v) i
+    done;
+    (* Repair each defective pair by switching with a random healthy edge. *)
+    let switches = ref 0 in
+    let max_switches = 200 * (List.length !bad + 1) + 1000 in
+    let rec repair defective =
+      match defective with
+      | [] -> true
+      | i :: rest ->
+          if !switches > max_switches then false
+          else begin
+            incr switches;
+            let j = Rng.int rng half in
+            let u = ea.(i) and v = eb.(i) in
+            let x = ea.(j) and y = eb.(j) in
+            (* propose (u,x) and (v,y); healthy iff simple and fresh *)
+            let ok =
+              j <> i && u <> x && v <> y
+              && (not (Hashtbl.mem seen (key u x)))
+              && (not (Hashtbl.mem seen (key v y)))
+              && key u x <> key v y
+              && Hashtbl.find_opt seen (key x y) = Some j
+            in
+            if ok then begin
+              Hashtbl.remove seen (key x y);
+              ea.(i) <- u;
+              eb.(i) <- x;
+              ea.(j) <- v;
+              eb.(j) <- y;
+              Hashtbl.add seen (key u x) i;
+              Hashtbl.add seen (key v y) j;
+              repair rest
+            end
+            else repair defective
+          end
+    in
+    if repair !bad then begin
+      let edges = Array.init half (fun i -> (ea.(i), eb.(i))) in
+      Some (Graph.of_edge_array ~n edges)
+    end
+    else None
+  in
+  let rec loop tries =
+    if tries > 100 then failwith "Gen_random.random_regular: repair failed repeatedly"
+    else match attempt () with Some g -> g | None -> loop (tries + 1)
+  in
+  loop 0
+
+let preferential_attachment rng ~n ~m =
+  if m < 1 then invalid_arg "Gen_random.preferential_attachment: m < 1";
+  if n <= m then invalid_arg "Gen_random.preferential_attachment: need n > m";
+  (* repeated-endpoints trick: sampling a uniform element of the flat edge-
+     endpoint array is exactly degree-proportional sampling *)
+  let seed_edges = m * (m + 1) / 2 in
+  let capacity = 2 * (seed_edges + (m * (n - m - 1))) in
+  let endpoints = Array.make capacity 0 in
+  let endpoint_count = ref 0 in
+  let edges = ref [] in
+  let add_edge u v =
+    edges := (u, v) :: !edges;
+    endpoints.(!endpoint_count) <- u;
+    endpoints.(!endpoint_count + 1) <- v;
+    endpoint_count := !endpoint_count + 2
+  in
+  for u = 0 to m do
+    for v = u + 1 to m do
+      add_edge u v
+    done
+  done;
+  for v = m + 1 to n - 1 do
+    (* choose m distinct targets against the state before v's own edges *)
+    let snapshot = !endpoint_count in
+    let targets = Hashtbl.create m in
+    while Hashtbl.length targets < m do
+      let u = endpoints.(Rng.int rng snapshot) in
+      if not (Hashtbl.mem targets u) then Hashtbl.add targets u ()
+    done;
+    Hashtbl.iter (fun u () -> add_edge u v) targets
+  done;
+  Graph.of_edges ~n !edges
+
+let random_regular_connected rng ~n ~d =
+  let rec loop tries =
+    if tries > 100 then
+      failwith "Gen_random.random_regular_connected: no connected sample in 100 tries"
+    else
+      let g = random_regular rng ~n ~d in
+      if Algo.is_connected g then g else loop (tries + 1)
+  in
+  loop 0

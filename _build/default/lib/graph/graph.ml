@@ -1,0 +1,150 @@
+module Rng = Rumor_prob.Rng
+
+type t = {
+  n : int;
+  m : int;                (* number of undirected edges *)
+  offsets : int array;    (* length n+1; adjacency of u is adj.(offsets.(u) .. offsets.(u+1)-1) *)
+  adj : int array;        (* length 2m, sorted within each vertex slice *)
+}
+
+let n g = g.n
+let num_edges g = g.m
+let degree g u = g.offsets.(u + 1) - g.offsets.(u)
+let neighbor g u i = g.adj.(g.offsets.(u) + i)
+
+let random_neighbor g rng u =
+  let d = degree g u in
+  if d = 0 then invalid_arg "Graph.random_neighbor: isolated vertex";
+  g.adj.(g.offsets.(u) + Rng.int rng d)
+
+let iter_neighbors g u f =
+  for i = g.offsets.(u) to g.offsets.(u + 1) - 1 do
+    f g.adj.(i)
+  done
+
+let fold_neighbors g u f init =
+  let acc = ref init in
+  for i = g.offsets.(u) to g.offsets.(u + 1) - 1 do
+    acc := f !acc g.adj.(i)
+  done;
+  !acc
+
+let iter_edges g f =
+  for u = 0 to g.n - 1 do
+    for i = g.offsets.(u) to g.offsets.(u + 1) - 1 do
+      let v = g.adj.(i) in
+      if u < v then f u v
+    done
+  done
+
+(* Binary search for v in the sorted slice of u; returns the adj index. *)
+let find_arc g u v =
+  let lo = ref g.offsets.(u) and hi = ref (g.offsets.(u + 1) - 1) in
+  let result = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let w = g.adj.(mid) in
+    if w = v then begin
+      result := mid;
+      lo := !hi + 1
+    end
+    else if w < v then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !result
+
+let mem_edge g u v = find_arc g u v >= 0
+
+let edge_index g u v =
+  let i = find_arc g u v in
+  if i < 0 then raise Not_found else i
+
+let arc_count g = 2 * g.m
+
+let min_degree g =
+  let d = ref max_int in
+  for u = 0 to g.n - 1 do
+    if degree g u < !d then d := degree g u
+  done;
+  if g.n = 0 then 0 else !d
+
+let max_degree g =
+  let d = ref 0 in
+  for u = 0 to g.n - 1 do
+    if degree g u > !d then d := degree g u
+  done;
+  !d
+
+let is_regular g = g.n = 0 || min_degree g = max_degree g
+
+let regular_degree g = if is_regular g && g.n > 0 then Some (degree g 0) else None
+
+let total_degree g = 2 * g.m
+
+let degrees g = Array.init g.n (fun u -> degree g u)
+
+let of_edge_array ~n:nv edges =
+  if nv < 0 then invalid_arg "Graph.of_edge_array: negative vertex count";
+  let m = Array.length edges in
+  let deg = Array.make nv 0 in
+  Array.iter
+    (fun (u, v) ->
+      if u < 0 || u >= nv || v < 0 || v >= nv then
+        invalid_arg
+          (Printf.sprintf "Graph.of_edge_array: endpoint out of range (%d,%d), n=%d" u v nv);
+      if u = v then
+        invalid_arg (Printf.sprintf "Graph.of_edge_array: self-loop at %d" u);
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    edges;
+  let offsets = Array.make (nv + 1) 0 in
+  for u = 0 to nv - 1 do
+    offsets.(u + 1) <- offsets.(u) + deg.(u)
+  done;
+  let adj = Array.make (2 * m) 0 in
+  let cursor = Array.copy offsets in
+  Array.iter
+    (fun (u, v) ->
+      adj.(cursor.(u)) <- v;
+      cursor.(u) <- cursor.(u) + 1;
+      adj.(cursor.(v)) <- u;
+      cursor.(v) <- cursor.(v) + 1)
+    edges;
+  (* sort each slice and reject duplicates *)
+  for u = 0 to nv - 1 do
+    let lo = offsets.(u) and hi = offsets.(u + 1) in
+    let slice = Array.sub adj lo (hi - lo) in
+    Array.sort compare slice;
+    Array.blit slice 0 adj lo (hi - lo);
+    for i = lo + 1 to hi - 1 do
+      if adj.(i) = adj.(i - 1) then
+        invalid_arg
+          (Printf.sprintf "Graph.of_edge_array: duplicate edge (%d,%d)" u adj.(i))
+    done
+  done;
+  { n = nv; m; offsets; adj }
+
+let of_edges ~n edges = of_edge_array ~n (Array.of_list edges)
+
+let validate g =
+  if Array.length g.offsets <> g.n + 1 then
+    invalid_arg "Graph.validate: bad offsets length";
+  if g.offsets.(0) <> 0 || g.offsets.(g.n) <> 2 * g.m then
+    invalid_arg "Graph.validate: bad offset endpoints";
+  for u = 0 to g.n - 1 do
+    if g.offsets.(u + 1) < g.offsets.(u) then
+      invalid_arg "Graph.validate: decreasing offsets";
+    for i = g.offsets.(u) to g.offsets.(u + 1) - 1 do
+      let v = g.adj.(i) in
+      if v < 0 || v >= g.n then invalid_arg "Graph.validate: neighbor out of range";
+      if v = u then invalid_arg "Graph.validate: self-loop";
+      if i > g.offsets.(u) && g.adj.(i - 1) >= v then
+        invalid_arg "Graph.validate: unsorted or duplicate adjacency";
+      if not (mem_edge g v u) then invalid_arg "Graph.validate: asymmetric edge"
+    done
+  done
+
+let pp ppf g =
+  Format.fprintf ppf "graph(n=%d, m=%d, deg=[%d..%d]%s)" g.n g.m (min_degree g)
+    (max_degree g)
+    (if is_regular g then ", regular" else "")

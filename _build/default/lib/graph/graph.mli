@@ -1,0 +1,83 @@
+(** Compact immutable undirected graphs in CSR (compressed sparse row) form.
+
+    Vertices are integers [0 .. n-1].  The adjacency of each vertex is stored
+    sorted in one flat array, giving O(1) degree queries, cache-friendly
+    neighbor iteration, and O(log deg) edge membership — the access pattern
+    the protocol simulators are built around.
+
+    Graphs are simple (no self-loops, no parallel edges) and undirected;
+    {!Builder} enforces this at construction time. *)
+
+type t
+
+(** {1 Construction} *)
+
+val of_edges : n:int -> (int * int) list -> t
+(** [of_edges ~n edges] builds a graph on [n] vertices from an undirected
+    edge list.  Duplicate edges (in either orientation) are rejected.
+    @raise Invalid_argument on self-loops, out-of-range endpoints, or
+    duplicates. *)
+
+val of_edge_array : n:int -> (int * int) array -> t
+(** Array variant of {!of_edges}. *)
+
+(** {1 Basic accessors} *)
+
+val n : t -> int
+(** Number of vertices. *)
+
+val num_edges : t -> int
+(** Number of undirected edges. *)
+
+val degree : t -> int -> int
+
+val neighbor : t -> int -> int -> int
+(** [neighbor g u i] is the [i]-th neighbor of [u] in sorted order,
+    [0 <= i < degree g u].  Bounds are checked only by the underlying array
+    access. *)
+
+val random_neighbor : t -> Rumor_prob.Rng.t -> int -> int
+(** [random_neighbor g rng u] is a uniformly random neighbor of [u].
+    @raise Invalid_argument if [u] is isolated. *)
+
+val mem_edge : t -> int -> int -> bool
+(** [mem_edge g u v] tests adjacency by binary search. *)
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+val fold_neighbors : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+
+val iter_edges : t -> (int -> int -> unit) -> unit
+(** [iter_edges g f] calls [f u v] once per undirected edge with [u < v]. *)
+
+val edge_index : t -> int -> int -> int
+(** [edge_index g u v] is a stable index in [0, 2*num_edges) identifying the
+    directed arc [u -> v] (the position of [v] inside [u]'s adjacency slice,
+    offset by [u]'s CSR offset).  Used by the fairness metrics to accumulate
+    per-edge traffic in a flat array. @raise Not_found if not adjacent. *)
+
+val arc_count : t -> int
+(** [arc_count g = 2 * num_edges g]: size of the directed-arc index space. *)
+
+(** {1 Degree statistics} *)
+
+val min_degree : t -> int
+val max_degree : t -> int
+val is_regular : t -> bool
+
+val regular_degree : t -> int option
+(** [Some d] if every vertex has degree [d]. *)
+
+val total_degree : t -> int
+(** Sum of degrees, [2 * num_edges]. *)
+
+val degrees : t -> int array
+(** Fresh array of all vertex degrees (for stationary-placement weights). *)
+
+(** {1 Validation and display} *)
+
+val validate : t -> unit
+(** Re-checks all CSR invariants (sorted adjacency, symmetry, no loops);
+    intended for tests. @raise Invalid_argument when violated. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary: vertex count, edge count, degree range. *)

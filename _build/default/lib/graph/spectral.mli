@@ -1,0 +1,54 @@
+(** Spectral analysis of the random walk on a graph: spectral gap,
+    relaxation time, and conductance estimates.
+
+    The paper's related work bounds rumor-spreading times by expansion
+    quantities — conductance (Chierichetti–Giakkoupis–Lattanzi–Panconesi
+    [11]: push-pull finishes in O(phi^-1 log n)) and vertex expansion [26].
+    This module computes the quantities those bounds need:
+
+    - the spectral gap of the {e lazy} transition matrix (lazy so the
+      spectrum is nonnegative and bipartiteness is harmless), by power
+      iteration with stationary deflation, exploiting CSR adjacency for
+      O(m) per iteration;
+    - conductance: exact by exhaustive search on tiny graphs, and the
+      standard sweep-cut upper bound from the second eigenvector in
+      general. *)
+
+val spectral_gap : ?iterations:int -> Graph.t -> float
+(** [spectral_gap g] is [1 - lambda_2] of the lazy walk matrix
+    [(I + P) / 2], estimated by [iterations] (default 300) rounds of
+    deflated power iteration.  In [0, 1]; larger means faster mixing.
+    @raise Invalid_argument on a disconnected graph. *)
+
+val relaxation_time : ?iterations:int -> Graph.t -> float
+(** [1 / spectral_gap]. *)
+
+val second_eigenvector : ?iterations:int -> Graph.t -> float array
+(** The (approximate) second eigenvector of the lazy walk matrix, the input
+    to sweep-cut partitioning. *)
+
+val cut_conductance : Graph.t -> bool array -> float
+(** [cut_conductance g side] is [cut(S, V-S) / min(vol S, vol V-S)] for the
+    cut indicated by [side].  @raise Invalid_argument if either side is
+    empty. *)
+
+val conductance_sweep : ?iterations:int -> Graph.t -> float
+(** Upper bound on the graph conductance: the best sweep cut of the second
+    eigenvector.  Exact on graphs whose minimum cut is a sweep cut of the
+    eigenvector (e.g. the double star, the necklace). *)
+
+val conductance_exact : ?max_n:int -> Graph.t -> float
+(** Exact conductance by exhaustive enumeration of all 2^(n-1) cuts; guarded
+    by [max_n] (default 20). @raise Invalid_argument on larger graphs. *)
+
+val vertex_expansion_exact : ?max_n:int -> Graph.t -> float
+(** Exact vertex expansion [min over nonempty S with |S| <= n/2 of
+    |boundary(S)| / |S|], where [boundary(S)] is the set of vertices outside
+    [S] adjacent to [S] — the quantity in Giakkoupis's vertex-expansion
+    bound for push-pull ([26] in the paper's related work).  Exhaustive over
+    all cuts; guarded by [max_n] (default 20). *)
+
+val cheeger_check : Graph.t -> bool
+(** Verifies the Cheeger inequalities [gap / 2 <= phi] and
+    [phi <= sqrt(2 gap)] hold for the computed estimates (using the sweep
+    bound for phi on large graphs, exact on tiny ones); used in tests. *)

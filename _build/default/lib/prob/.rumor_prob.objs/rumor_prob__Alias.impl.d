@@ -1,0 +1,1 @@
+lib/prob/alias.ml: Array Rng Stack

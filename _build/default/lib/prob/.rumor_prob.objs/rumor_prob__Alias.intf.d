@@ -1,0 +1,1 @@
+lib/prob/alias.mli: Rng

@@ -1,0 +1,1 @@
+lib/prob/dist.ml: Array Printf Rng

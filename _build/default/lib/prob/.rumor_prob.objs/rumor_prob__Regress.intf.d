@@ -1,0 +1,1 @@
+lib/prob/regress.mli: Format

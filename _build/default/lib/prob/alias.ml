@@ -1,0 +1,55 @@
+type t = {
+  prob : float array;  (* prob.(i): probability of keeping i in column i *)
+  alias : int array;   (* alias.(i): the other category stored in column i *)
+}
+
+let create w =
+  let n = Array.length w in
+  if n = 0 then invalid_arg "Alias.create: empty weights";
+  let total = ref 0.0 in
+  Array.iter
+    (fun x ->
+      if x < 0.0 then invalid_arg "Alias.create: negative weight";
+      total := !total +. x)
+    w;
+  if not (!total > 0.0) then invalid_arg "Alias.create: zero total weight";
+  (* Vose's stable construction: scale weights to mean 1, split into
+     under-full and over-full columns, pair them off. *)
+  let scaled = Array.map (fun x -> x *. float_of_int n /. !total) w in
+  let prob = Array.make n 1.0 in
+  let alias = Array.init n (fun i -> i) in
+  let small = Stack.create () and large = Stack.create () in
+  Array.iteri
+    (fun i p -> if p < 1.0 then Stack.push i small else Stack.push i large)
+    scaled;
+  while (not (Stack.is_empty small)) && not (Stack.is_empty large) do
+    let s = Stack.pop small and l = Stack.pop large in
+    prob.(s) <- scaled.(s);
+    alias.(s) <- l;
+    scaled.(l) <- scaled.(l) -. (1.0 -. scaled.(s));
+    if scaled.(l) < 1.0 then Stack.push l small else Stack.push l large
+  done;
+  (* leftovers are within rounding error of 1 *)
+  Stack.iter (fun i -> prob.(i) <- 1.0) small;
+  Stack.iter (fun i -> prob.(i) <- 1.0) large;
+  { prob; alias }
+
+let of_ints w = create (Array.map float_of_int w)
+
+let sample t g =
+  let n = Array.length t.prob in
+  let i = Rng.int g n in
+  if Rng.float g 1.0 < t.prob.(i) then i else t.alias.(i)
+
+let size t = Array.length t.prob
+
+let probability t i =
+  let n = Array.length t.prob in
+  if i < 0 || i >= n then invalid_arg "Alias.probability: index out of range";
+  (* column i contributes prob.(i)/n to i; every column j with alias j = i
+     contributes (1 - prob.(j))/n *)
+  let acc = ref (t.prob.(i) /. float_of_int n) in
+  Array.iteri
+    (fun j a -> if a = i && j <> i then acc := !acc +. ((1.0 -. t.prob.(j)) /. float_of_int n))
+    t.alias;
+  !acc

@@ -1,0 +1,26 @@
+(** Walker's alias method: O(1) sampling from a fixed discrete distribution
+    after O(n) preprocessing.
+
+    Used to place agents at the stationary distribution (probability of
+    vertex [v] proportional to its degree) in a single pass over the agent
+    array, which matters for graphs with hundreds of thousands of vertices. *)
+
+type t
+
+val create : float array -> t
+(** [create w] preprocesses non-negative weights [w] (not necessarily
+    normalised).  @raise Invalid_argument if [w] is empty, contains a
+    negative weight, or sums to zero. *)
+
+val of_ints : int array -> t
+(** [of_ints w] is [create] on integer weights (e.g. vertex degrees). *)
+
+val sample : t -> Rng.t -> int
+(** [sample t g] draws index [i] with probability [w.(i) / sum w]. *)
+
+val size : t -> int
+(** Number of categories. *)
+
+val probability : t -> int -> float
+(** [probability t i] is the exact normalised probability of category [i],
+    reconstructed from the alias tables (useful in tests). *)

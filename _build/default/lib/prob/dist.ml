@@ -1,0 +1,94 @@
+let uniform_int g n = Rng.int g n
+
+let bernoulli = Rng.bernoulli
+
+let check_p name p =
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg (Printf.sprintf "Dist.%s: p=%g outside [0,1]" name p)
+
+(* Waiting-time method: the number of successes among n Bernoulli(p) trials
+   equals the number of geometric(p) inter-arrival gaps that fit in n.
+   Expected cost O(n*p + 1), exact for all n, p. *)
+let binomial_by_waiting g n p =
+  let log1mp = log1p (-.p) in
+  let count = ref 0 in
+  let pos = ref 0 in
+  let continue = ref true in
+  while !continue do
+    (* geometric gap >= 1 distributed as ceil(log(U)/log(1-p)) *)
+    let u = 1.0 -. Rng.float g 1.0 in
+    let gap = int_of_float (ceil (log u /. log1mp)) in
+    let gap = if gap < 1 then 1 else gap in
+    pos := !pos + gap;
+    if !pos <= n then incr count else continue := false
+  done;
+  !count
+
+let binomial g n p =
+  if n < 0 then invalid_arg "Dist.binomial: n < 0";
+  check_p "binomial" p;
+  if p = 0.0 || n = 0 then 0
+  else if p = 1.0 then n
+  else if p > 0.5 then n - binomial_by_waiting g n (1.0 -. p)
+  else if n <= 32 then begin
+    (* direct simulation: cheap and exact for tiny n *)
+    let count = ref 0 in
+    for _ = 1 to n do
+      if Rng.bernoulli g p then incr count
+    done;
+    !count
+  end
+  else binomial_by_waiting g n p
+
+let geometric g p =
+  if not (p > 0.0 && p <= 1.0) then invalid_arg "Dist.geometric: p outside (0,1]";
+  if p = 1.0 then 1
+  else begin
+    let u = 1.0 -. Rng.float g 1.0 in
+    let k = int_of_float (ceil (log u /. log1p (-.p))) in
+    if k < 1 then 1 else k
+  end
+
+let rec poisson g lambda =
+  if lambda < 0.0 then invalid_arg "Dist.poisson: lambda < 0";
+  if lambda = 0.0 then 0
+  else if lambda < 30.0 then begin
+    (* Knuth: multiply uniforms until the product drops below e^-lambda *)
+    let threshold = exp (-.lambda) in
+    let k = ref 0 in
+    let prod = ref (1.0 -. Rng.float g 1.0) in
+    while !prod > threshold do
+      incr k;
+      prod := !prod *. (1.0 -. Rng.float g 1.0)
+    done;
+    !k
+  end
+  else
+    (* Split lambda = lambda/2 + lambda/2 and recurse; Poisson is additive,
+       so this is exact and reduces to the small-lambda case in O(log) depth. *)
+    let half = lambda /. 2.0 in
+    poisson g half + poisson g (lambda -. half)
+
+let exponential g rate =
+  if rate <= 0.0 then invalid_arg "Dist.exponential: rate <= 0";
+  let u = 1.0 -. Rng.float g 1.0 in
+  -.log u /. rate
+
+let categorical g w =
+  let n = Array.length w in
+  if n = 0 then invalid_arg "Dist.categorical: empty weights";
+  let total = Array.fold_left ( +. ) 0.0 w in
+  if not (total > 0.0) then invalid_arg "Dist.categorical: non-positive total";
+  let x = Rng.float g total in
+  let rec scan i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. w.(i) in
+      if x < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.0
+
+let binomial_mean n p = float_of_int n *. p
+let binomial_variance n p = float_of_int n *. p *. (1.0 -. p)
+let geometric_mean p = 1.0 /. p
+let geometric_variance p = (1.0 -. p) /. (p *. p)

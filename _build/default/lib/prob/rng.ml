@@ -1,0 +1,96 @@
+(* xoshiro256** with SplitMix64 seeding (Blackman & Vigna).  All arithmetic
+   is on Int64 with wrap-around semantics, which OCaml's Int64 provides. *)
+
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+}
+
+(* --- SplitMix64: used to expand a single seed into initial state --- *)
+
+let splitmix_gamma = 0x9E3779B97F4A7C15L
+
+let splitmix64_next state =
+  let z = Int64.add !state splitmix_gamma in
+  state := z;
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed =
+  let state = ref seed in
+  let s0 = splitmix64_next state in
+  let s1 = splitmix64_next state in
+  let s2 = splitmix64_next state in
+  let s3 = splitmix64_next state in
+  (* xoshiro must not start from the all-zero state; SplitMix64 outputs are
+     zero only for one input each, so four simultaneous zeros cannot happen,
+     but guard anyway. *)
+  if Int64.logor (Int64.logor s0 s1) (Int64.logor s2 s3) = 0L then
+    { s0 = 1L; s1 = 2L; s2 = 3L; s3 = 4L }
+  else { s0; s1; s2; s3 }
+
+let of_int seed = create (Int64.of_int seed)
+
+let copy g = { s0 = g.s0; s1 = g.s1; s2 = g.s2; s3 = g.s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 g =
+  let result = Int64.mul (rotl (Int64.mul g.s1 5L) 7) 9L in
+  let t = Int64.shift_left g.s1 17 in
+  g.s2 <- Int64.logxor g.s2 g.s0;
+  g.s3 <- Int64.logxor g.s3 g.s1;
+  g.s1 <- Int64.logxor g.s1 g.s2;
+  g.s0 <- Int64.logxor g.s0 g.s3;
+  g.s2 <- Int64.logxor g.s2 t;
+  g.s3 <- rotl g.s3 45;
+  result
+
+let split g = create (bits64 g)
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  if bound land (bound - 1) = 0 then
+    (* power of two: mask the high-quality low bits of the starred output *)
+    Int64.to_int (Int64.logand (bits64 g) (Int64.of_int (bound - 1)))
+  else begin
+    (* rejection sampling on 61 bits to avoid modulo bias (61 keeps the
+       limit arithmetic comfortably inside OCaml's 63-bit native int) *)
+    let mask = 0x1FFFFFFFFFFFFFFFL in
+    let limit = (1 lsl 61) / bound * bound in
+    let rec draw () =
+      let r = Int64.to_int (Int64.logand (bits64 g) mask) in
+      if r >= limit then draw () else r mod bound
+    in
+    draw ()
+  end
+
+let int_in g lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int g (hi - lo + 1)
+
+let float g x =
+  (* 53 random bits mapped to [0,1), scaled by x *)
+  let bits = Int64.to_float (Int64.shift_right_logical (bits64 g) 11) in
+  bits *. (1.0 /. 9007199254740992.0) *. x
+
+let bool g = Int64.logand (bits64 g) 1L = 1L
+
+let bernoulli g p =
+  if p <= 0.0 then false else if p >= 1.0 then true else float g 1.0 < p
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose g a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int g (Array.length a))

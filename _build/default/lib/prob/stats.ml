@@ -1,0 +1,116 @@
+type t = {
+  mutable count : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let create () =
+  { count = 0; mean = 0.0; m2 = 0.0; min_v = infinity; max_v = neg_infinity }
+
+let add t x =
+  t.count <- t.count + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.count);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x
+
+let add_int t x = add t (float_of_int x)
+
+let count t = t.count
+let mean t = if t.count = 0 then nan else t.mean
+let variance t = if t.count < 2 then nan else t.m2 /. float_of_int (t.count - 1)
+let stddev t = sqrt (variance t)
+let min_value t = if t.count = 0 then nan else t.min_v
+let max_value t = if t.count = 0 then nan else t.max_v
+
+let std_error t =
+  if t.count < 2 then nan else stddev t /. sqrt (float_of_int t.count)
+
+let ci95_halfwidth t = 1.96 *. std_error t
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  q25 : float;
+  median : float;
+  q75 : float;
+  max : float;
+}
+
+let quantile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Stats.quantile: empty sample";
+  if q <= 0.0 then sorted.(0)
+  else if q >= 1.0 then sorted.(n - 1)
+  else begin
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (floor pos) in
+    let frac = pos -. float_of_int lo in
+    if lo + 1 >= n then sorted.(n - 1)
+    else sorted.(lo) +. (frac *. (sorted.(lo + 1) -. sorted.(lo)))
+  end
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.summarize: empty sample";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let acc = create () in
+  Array.iter (add acc) xs;
+  {
+    n;
+    mean = mean acc;
+    stddev = (if n < 2 then 0.0 else stddev acc);
+    min = sorted.(0);
+    q25 = quantile sorted 0.25;
+    median = quantile sorted 0.5;
+    q75 = quantile sorted 0.75;
+    max = sorted.(n - 1);
+  }
+
+let summarize_ints xs = summarize (Array.map float_of_int xs)
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "n=%d mean=%.2f sd=%.2f min=%.1f q25=%.1f med=%.1f q75=%.1f max=%.1f" s.n
+    s.mean s.stddev s.min s.q25 s.median s.q75 s.max
+
+module Histogram = struct
+  type h = {
+    lo : float;
+    hi : float;
+    bins : int array;
+    mutable under : int;
+    mutable over : int;
+  }
+
+  let create ~lo ~hi ~bins =
+    if bins <= 0 then invalid_arg "Histogram.create: bins <= 0";
+    if not (hi > lo) then invalid_arg "Histogram.create: hi <= lo";
+    { lo; hi; bins = Array.make bins 0; under = 0; over = 0 }
+
+  let add h x =
+    if x < h.lo then h.under <- h.under + 1
+    else if x >= h.hi then h.over <- h.over + 1
+    else begin
+      let k = Array.length h.bins in
+      let i = int_of_float (float_of_int k *. (x -. h.lo) /. (h.hi -. h.lo)) in
+      let i = if i >= k then k - 1 else i in
+      h.bins.(i) <- h.bins.(i) + 1
+    end
+
+  let counts h = Array.copy h.bins
+  let total h = Array.fold_left ( + ) 0 h.bins + h.under + h.over
+  let underflow h = h.under
+  let overflow h = h.over
+
+  let bin_edges h =
+    let k = Array.length h.bins in
+    Array.init (k + 1) (fun i ->
+        h.lo +. (float_of_int i *. (h.hi -. h.lo) /. float_of_int k))
+end

@@ -1,0 +1,1 @@
+lib/protocols/agent_pool.ml: Array

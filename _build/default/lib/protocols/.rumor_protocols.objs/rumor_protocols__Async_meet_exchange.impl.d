@@ -1,0 +1,1 @@
+lib/protocols/async_meet_exchange.ml: Array List Rumor_agents Rumor_des Rumor_graph Rumor_prob

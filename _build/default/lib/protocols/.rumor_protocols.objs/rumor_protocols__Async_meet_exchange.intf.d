@@ -1,0 +1,1 @@
+lib/protocols/async_meet_exchange.mli: Rumor_agents Rumor_graph Rumor_prob

@@ -1,0 +1,1 @@
+lib/protocols/async_push.ml: Array Rumor_des Rumor_graph Rumor_prob

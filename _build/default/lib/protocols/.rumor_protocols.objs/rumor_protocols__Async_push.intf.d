@@ -1,0 +1,1 @@
+lib/protocols/async_push.mli: Rumor_graph Rumor_prob

@@ -1,0 +1,1 @@
+lib/protocols/cobra.ml: Array Rumor_graph Rumor_prob Run_result

@@ -1,0 +1,1 @@
+lib/protocols/combined.ml: Array Rumor_agents Rumor_graph Run_result

@@ -1,0 +1,1 @@
+lib/protocols/combined.mli: Rumor_agents Rumor_graph Rumor_prob Run_result

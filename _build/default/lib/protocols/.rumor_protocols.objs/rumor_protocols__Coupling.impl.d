@@ -1,0 +1,1 @@
+lib/protocols/coupling.ml: Array List Rumor_agents Rumor_graph Rumor_prob

@@ -1,0 +1,1 @@
+lib/protocols/coupling.mli: Rumor_agents Rumor_graph Rumor_prob

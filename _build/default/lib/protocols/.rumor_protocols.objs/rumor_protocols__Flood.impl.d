@@ -1,0 +1,1 @@
+lib/protocols/flood.ml: Array List Rumor_graph Run_result

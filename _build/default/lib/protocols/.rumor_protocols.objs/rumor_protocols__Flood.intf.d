@@ -1,0 +1,1 @@
+lib/protocols/flood.mli: Rumor_graph Run_result

@@ -1,0 +1,1 @@
+lib/protocols/frog.ml: Array Rumor_graph Rumor_prob Run_result

@@ -1,0 +1,1 @@
+lib/protocols/frog.mli: Rumor_graph Rumor_prob Run_result

@@ -1,0 +1,1 @@
+lib/protocols/multi_rumor.ml: Array Rumor_agents Rumor_graph

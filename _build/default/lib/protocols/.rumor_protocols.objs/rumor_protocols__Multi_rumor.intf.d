@@ -1,0 +1,1 @@
+lib/protocols/multi_rumor.mli: Rumor_agents Rumor_graph Rumor_prob

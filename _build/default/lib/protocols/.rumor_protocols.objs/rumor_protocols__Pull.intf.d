@@ -1,0 +1,1 @@
+lib/protocols/pull.mli: Rumor_graph Rumor_prob Run_result Traffic

@@ -1,0 +1,1 @@
+lib/protocols/quasi_push.ml: Array Rumor_graph Rumor_prob Run_result

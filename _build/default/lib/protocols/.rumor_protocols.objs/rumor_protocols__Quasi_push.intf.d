@@ -1,0 +1,1 @@
+lib/protocols/quasi_push.mli: Rumor_graph Rumor_prob Run_result

@@ -1,0 +1,1 @@
+lib/protocols/run_result.ml: Format

@@ -1,0 +1,1 @@
+lib/protocols/traffic.ml: Array Format List Rumor_graph Rumor_prob

@@ -1,0 +1,1 @@
+lib/protocols/traffic.mli: Format Rumor_graph

@@ -1,0 +1,1 @@
+lib/protocols/tweaked_visit_exchange.ml: Agent_pool Array Rumor_agents Rumor_graph Rumor_prob Run_result

@@ -1,0 +1,1 @@
+lib/protocols/visit_exchange.ml: Array Rumor_agents Rumor_graph Run_result Traffic

@@ -1,0 +1,1 @@
+lib/protocols/visit_exchange.mli: Rumor_agents Rumor_graph Rumor_prob Run_result Traffic

@@ -1,0 +1,84 @@
+type t = {
+  mutable pos : int array;
+  mutable informed : int array;  (* max_int = uninformed, -1 = dead slot *)
+  mutable used : int;
+  mutable free : int list;
+  mutable alive : int;
+}
+
+let uninformed = max_int
+let dead = -1
+
+let create ~capacity =
+  {
+    pos = Array.make (max capacity 1) 0;
+    informed = Array.make (max capacity 1) dead;
+    used = 0;
+    free = [];
+    alive = 0;
+  }
+
+let spawn p vertex =
+  let slot =
+    match p.free with
+    | s :: rest ->
+        p.free <- rest;
+        s
+    | [] ->
+        if p.used = Array.length p.pos then begin
+          let capacity = 2 * p.used in
+          let pos = Array.make capacity 0 and informed = Array.make capacity dead in
+          Array.blit p.pos 0 pos 0 p.used;
+          Array.blit p.informed 0 informed 0 p.used;
+          p.pos <- pos;
+          p.informed <- informed
+        end;
+        let s = p.used in
+        p.used <- p.used + 1;
+        s
+  in
+  p.pos.(slot) <- vertex;
+  p.informed.(slot) <- uninformed;
+  p.alive <- p.alive + 1;
+  slot
+
+let kill p slot =
+  if p.informed.(slot) = dead then invalid_arg "Agent_pool.kill: slot already dead";
+  p.informed.(slot) <- dead;
+  p.free <- slot :: p.free;
+  p.alive <- p.alive - 1
+
+let alive p = p.alive
+
+let position p slot = p.pos.(slot)
+let set_position p slot v = p.pos.(slot) <- v
+
+let informed_at p slot = p.informed.(slot)
+
+let set_informed_at p slot round =
+  if p.informed.(slot) = dead then invalid_arg "Agent_pool.set_informed_at: dead slot";
+  p.informed.(slot) <- round
+
+let iter_alive p f =
+  for slot = 0 to p.used - 1 do
+    if p.informed.(slot) <> dead then f slot
+  done
+
+let find_alive_at ?(prefer_uninformed = true) p v =
+  let any = ref None in
+  let fresh = ref None in
+  (try
+     for slot = 0 to p.used - 1 do
+       if p.informed.(slot) <> dead && p.pos.(slot) = v then begin
+         if !any = None then any := Some slot;
+         if p.informed.(slot) = uninformed then begin
+           fresh := Some slot;
+           raise Exit
+         end;
+         if not prefer_uninformed then raise Exit
+       end
+     done
+   with Exit -> ());
+  match (prefer_uninformed, !fresh) with
+  | true, Some s -> Some s
+  | _ -> !any

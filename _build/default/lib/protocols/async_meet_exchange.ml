@@ -1,0 +1,75 @@
+module Rng = Rumor_prob.Rng
+module Dist = Rumor_prob.Dist
+module Graph = Rumor_graph.Graph
+module Placement = Rumor_agents.Placement
+module Event_queue = Rumor_des.Event_queue
+
+type result = {
+  broadcast_time : float option;
+  rings : int;
+  informed : int;
+  agents : int;
+}
+
+let run rng g ~source ~agents ~max_time =
+  let n = Graph.n g in
+  if source < 0 || source >= n then
+    invalid_arg "Async_meet_exchange.run: source out of range";
+  if not (max_time > 0.0) then
+    invalid_arg "Async_meet_exchange.run: max_time must be positive";
+  let pos = Placement.place rng agents g in
+  let k = Array.length pos in
+  let informed = Array.make k false in
+  let informed_count = ref 0 in
+  (* per-vertex doubly-indexed membership so co-located agents are found in
+     O(occupants): agents_at.(v) is an unordered dense list *)
+  let agents_at = Array.make n [] in
+  Array.iteri (fun a v -> agents_at.(v) <- a :: agents_at.(v)) pos;
+  let source_active = ref true in
+  let inform a =
+    if not informed.(a) then begin
+      informed.(a) <- true;
+      incr informed_count
+    end
+  in
+  (* exchange at vertex v: if anyone there is informed (or v is the still-
+     active source), everyone there becomes informed *)
+  let exchange_at v =
+    let any_informed = List.exists (fun a -> informed.(a)) agents_at.(v) in
+    let source_hit = !source_active && v = source && agents_at.(v) <> [] in
+    if any_informed || source_hit then begin
+      List.iter inform agents_at.(v);
+      if source_hit then source_active := false
+    end
+  in
+  exchange_at source;
+  let queue = Event_queue.create () in
+  let schedule a now = Event_queue.push queue (now +. Dist.exponential rng 1.0) a in
+  for a = 0 to k - 1 do
+    schedule a 0.0
+  done;
+  let rings = ref 0 in
+  let finish = ref None in
+  let running = ref (!informed_count < k) in
+  while !running do
+    match Event_queue.pop queue with
+    | None -> running := false
+    | Some (now, a) ->
+        if now > max_time then running := false
+        else begin
+          incr rings;
+          let u = pos.(a) in
+          let v = Graph.random_neighbor g rng u in
+          agents_at.(u) <- List.filter (fun b -> b <> a) agents_at.(u);
+          agents_at.(v) <- a :: agents_at.(v);
+          pos.(a) <- v;
+          exchange_at v;
+          if !informed_count = k then begin
+            finish := Some now;
+            running := false
+          end
+          else schedule a now
+        end
+  done;
+  let finish = if !informed_count = k && !finish = None then Some 0.0 else !finish in
+  { broadcast_time = finish; rings = !rings; informed = !informed_count; agents = k }

@@ -1,0 +1,32 @@
+(** Continuous-time meet-exchange: the [33, 34] variant of the paper's
+    agent-only protocol (Kesten–Sidoravicius studied it on the infinite
+    grid; here it runs on finite graphs).
+
+    Each agent carries an independent unit-rate Poisson clock; when it
+    rings, the agent jumps to a uniformly random neighbor and exchanges the
+    rumor with every agent standing on its new vertex.  The source vertex
+    informs the first agent to occupy it (agents starting there count).
+
+    Because moves are never simultaneous, the bipartite parity trap of the
+    synchronous protocol disappears: two agents on K_2 meet in O(1) expected
+    time even though their synchronized counterparts would swap forever.
+    Ablation A8 measures exactly this, alongside the continuous/discrete
+    agreement on non-bipartite graphs. *)
+
+type result = {
+  broadcast_time : float option;
+      (** continuous time when every agent is informed; [None] if capped *)
+  rings : int;
+  informed : int;
+  agents : int;
+}
+
+val run :
+  Rumor_prob.Rng.t ->
+  Rumor_graph.Graph.t ->
+  source:int ->
+  agents:Rumor_agents.Placement.spec ->
+  max_time:float ->
+  result
+(** [run rng g ~source ~agents ~max_time].
+    @raise Invalid_argument on a bad source or non-positive [max_time]. *)

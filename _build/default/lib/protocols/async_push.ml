@@ -1,0 +1,64 @@
+module Rng = Rumor_prob.Rng
+module Dist = Rumor_prob.Dist
+module Graph = Rumor_graph.Graph
+module Event_queue = Rumor_des.Event_queue
+
+type variant = Async_push | Async_push_pull
+
+type result = {
+  broadcast_time : float option;
+  rings : int;
+  informed : int;
+}
+
+let run rng g ~variant ~source ~max_time =
+  let n = Graph.n g in
+  if source < 0 || source >= n then invalid_arg "Async_push.run: source out of range";
+  if not (max_time > 0.0) then invalid_arg "Async_push.run: max_time must be positive";
+  let informed = Array.make n false in
+  let informed_count = ref 1 in
+  informed.(source) <- true;
+  let queue = Event_queue.create () in
+  let schedule u now = Event_queue.push queue (now +. Dist.exponential rng 1.0) u in
+  (* push only needs clocks on informed vertices; push-pull needs everyone *)
+  (match variant with
+  | Async_push -> schedule source 0.0
+  | Async_push_pull ->
+      for u = 0 to n - 1 do
+        schedule u 0.0
+      done);
+  let rings = ref 0 in
+  let finish_time = ref None in
+  let running = ref true in
+  while !running do
+    match Event_queue.pop queue with
+    | None -> running := false
+    | Some (now, u) ->
+        if now > max_time then running := false
+        else begin
+          incr rings;
+          let v = Graph.random_neighbor g rng u in
+          (match variant with
+          | Async_push ->
+              if not informed.(v) then begin
+                informed.(v) <- true;
+                incr informed_count;
+                schedule v now
+              end
+          | Async_push_pull ->
+              if informed.(u) && not informed.(v) then begin
+                informed.(v) <- true;
+                incr informed_count
+              end
+              else if informed.(v) && not informed.(u) then begin
+                informed.(u) <- true;
+                incr informed_count
+              end);
+          if !informed_count = n then begin
+            finish_time := Some now;
+            running := false
+          end
+          else schedule u now
+        end
+  done;
+  { broadcast_time = !finish_time; rings = !rings; informed = !informed_count }

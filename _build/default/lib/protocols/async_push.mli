@@ -1,0 +1,37 @@
+(** Asynchronous rumor spreading (the Section 2 variants).
+
+    In the asynchronous model every vertex acts at the arrival times of an
+    independent unit-rate Poisson process: when its clock rings, the vertex
+    samples a random neighbor and pushes (or, for push-pull, exchanges).
+    Time is continuous; one unit of time corresponds to one expected ring
+    per vertex, i.e. to one synchronous round's worth of activity.
+
+    The paper's related work (Sauerwald [41]; Giakkoupis–Nazari–Woelfel
+    [27], Angel et al. [4]) shows asynchronous push has the same broadcast
+    time as synchronous push on regular graphs, while asynchronous and
+    synchronous push-pull can differ by a sqrt(log n) factor in general.
+    Ablation A5 checks the regular-graph equivalence empirically.
+
+    Implemented by discrete-event simulation over {!Rumor_des.Event_queue}:
+    only informed vertices need clocks for push, so a run costs
+    O(n log n + total rings). *)
+
+type variant = Async_push | Async_push_pull
+
+type result = {
+  broadcast_time : float option;
+      (** continuous completion time; [None] if [max_time] elapsed first *)
+  rings : int;  (** total clock rings processed *)
+  informed : int;
+}
+
+val run :
+  Rumor_prob.Rng.t ->
+  Rumor_graph.Graph.t ->
+  variant:variant ->
+  source:int ->
+  max_time:float ->
+  result
+(** [run rng g ~variant ~source ~max_time] simulates until all vertices are
+    informed or continuous time exceeds [max_time].
+    @raise Invalid_argument on a bad source or non-positive [max_time]. *)

@@ -1,0 +1,62 @@
+module Rng = Rumor_prob.Rng
+module Graph = Rumor_graph.Graph
+
+type result = {
+  run_result : Run_result.t;
+  max_front : int;
+}
+
+let run rng g ~source ~branching ~max_rounds () =
+  let n = Graph.n g in
+  if source < 0 || source >= n then invalid_arg "Cobra.run: source out of range";
+  if branching < 1 then invalid_arg "Cobra.run: branching < 1";
+  if max_rounds < 0 then invalid_arg "Cobra.run: negative round cap";
+  let visited = Array.make n false in
+  visited.(source) <- true;
+  let visited_count = ref 1 in
+  (* the pebbled front, as a dense array plus a membership stamp to merge
+     duplicates in O(1) per pebble *)
+  let front = Array.make n 0 in
+  let front_len = ref 1 in
+  front.(0) <- source;
+  let stamp = Array.make n (-1) in
+  let next = Array.make n 0 in
+  let contacts = ref 0 in
+  let max_front = ref 1 in
+  let curve = Array.make (max_rounds + 1) 0 in
+  curve.(0) <- 1;
+  let t = ref 0 in
+  while !visited_count < n && !front_len > 0 && !t < max_rounds do
+    incr t;
+    let round = !t in
+    let next_len = ref 0 in
+    for i = 0 to !front_len - 1 do
+      let u = front.(i) in
+      for _ = 1 to branching do
+        let v = Graph.random_neighbor g rng u in
+        incr contacts;
+        if stamp.(v) <> round then begin
+          stamp.(v) <- round;
+          next.(!next_len) <- v;
+          incr next_len;
+          if not visited.(v) then begin
+            visited.(v) <- true;
+            incr visited_count
+          end
+        end
+      done
+    done;
+    Array.blit next 0 front 0 !next_len;
+    front_len := !next_len;
+    if !next_len > !max_front then max_front := !next_len;
+    curve.(round) <- !visited_count
+  done;
+  let rounds_run = !t in
+  let broadcast_time = if !visited_count = n then Some rounds_run else None in
+  {
+    run_result =
+      Run_result.make ~broadcast_time ~rounds_run
+        ~informed_curve:(Array.sub curve 0 (rounds_run + 1))
+        ~contacts:!contacts ();
+    max_front = !max_front;
+  }

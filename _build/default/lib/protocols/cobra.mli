@@ -1,0 +1,30 @@
+(** COBRA (COalescing-BRAnching) walks (Berenbrink–Giakkoupis–Kling [7],
+    Mitzenmacher–Rajaraman–Roche [36]; cited in Section 2).
+
+    A COBRA walk generalizes a random walk: the set of "pebbled" vertices
+    evolves by every currently pebbled vertex sending pebbles to
+    [branching] independently chosen random neighbors; pebbles landing on
+    the same vertex coalesce into one.  Note pebbles {e move} — the pebbled
+    set is not monotone — but the set of vertices ever pebbled is, and the
+    broadcast (cover) time is when every vertex has been pebbled at least
+    once.  With [branching = 1] this is exactly a single random walk; [7]
+    shows cover time O(log n) on regular expanders for [branching = 2].
+
+    Experiment R4 measures the branching-factor effect on regular graphs. *)
+
+type result = {
+  run_result : Run_result.t;
+  max_front : int;  (** largest number of simultaneously pebbled vertices *)
+}
+
+val run :
+  Rumor_prob.Rng.t ->
+  Rumor_graph.Graph.t ->
+  source:int ->
+  branching:int ->
+  max_rounds:int ->
+  unit ->
+  result
+(** [run rng g ~source ~branching ~max_rounds ()].  The informed curve
+    counts vertices ever pebbled.  @raise Invalid_argument if
+    [branching < 1] or on a bad source. *)

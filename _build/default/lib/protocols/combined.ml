@@ -1,0 +1,65 @@
+module Graph = Rumor_graph.Graph
+module Walkers = Rumor_agents.Walkers
+
+let run ?lazy_walk rng g ~source ~agents ~max_rounds () =
+  let n = Graph.n g in
+  if source < 0 || source >= n then invalid_arg "Combined.run: source out of range";
+  if max_rounds < 0 then invalid_arg "Combined.run: negative round cap";
+  let w = Walkers.of_spec ?lazy_walk rng g agents in
+  let k = Walkers.agent_count w in
+  let vertex_time = Array.make n max_int in
+  let agent_time = Array.make k max_int in
+  vertex_time.(source) <- 0;
+  let informed_vertices = ref 1 in
+  let contacts = ref 0 in
+  for a = 0 to k - 1 do
+    if Walkers.position w a = source then begin
+      agent_time.(a) <- 0;
+      incr contacts
+    end
+  done;
+  let curve = Array.make (max_rounds + 1) 0 in
+  curve.(0) <- 1;
+  let t = ref 0 in
+  while !informed_vertices < n && !t < max_rounds do
+    incr t;
+    let round = !t in
+    let inform_vertex v =
+      if vertex_time.(v) = max_int then begin
+        vertex_time.(v) <- round;
+        incr informed_vertices
+      end
+    in
+    (* push-pull half: every vertex calls a random neighbor; exchanges use
+       the informed-before-this-round state *)
+    for u = 0 to n - 1 do
+      let v = Graph.random_neighbor g rng u in
+      incr contacts;
+      let u_before = vertex_time.(u) < round and v_before = vertex_time.(v) < round in
+      if u_before && not v_before then inform_vertex v
+      else if v_before && not u_before then inform_vertex u
+    done;
+    (* visit-exchange half: agents step, previously informed agents inform
+       their vertex, uninformed agents learn from informed vertices *)
+    Walkers.step w;
+    for a = 0 to k - 1 do
+      if agent_time.(a) < round then begin
+        let v = Walkers.position w a in
+        if vertex_time.(v) = max_int then incr contacts;
+        inform_vertex v
+      end
+    done;
+    for a = 0 to k - 1 do
+      if agent_time.(a) = max_int && vertex_time.(Walkers.position w a) <= round
+      then begin
+        agent_time.(a) <- round;
+        incr contacts
+      end
+    done;
+    curve.(round) <- !informed_vertices
+  done;
+  let rounds_run = !t in
+  let broadcast_time = if !informed_vertices = n then Some rounds_run else None in
+  Run_result.make ~broadcast_time ~rounds_run
+    ~informed_curve:(Array.sub curve 0 (rounds_run + 1))
+    ~contacts:!contacts ()

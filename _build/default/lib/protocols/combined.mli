@@ -1,0 +1,24 @@
+(** push-pull and visit-exchange run side by side on a shared informed set.
+
+    The paper's introduction observes that "agent-based information
+    dissemination, separately or in combination with push-pull, can
+    significantly improve the broadcast time": each mechanism covers the
+    other's bad cases (push-pull is slow on the double star, visit-exchange
+    on the heavy binary tree).  This protocol executes one round of both
+    mechanisms per round, with a vertex informed as soon as either informs
+    it; agents learn from vertices as in visit-exchange.
+
+    Experiment E10 verifies the claim: the combination is logarithmic on
+    both families that defeat the individual protocols. *)
+
+val run :
+  ?lazy_walk:bool ->
+  Rumor_prob.Rng.t ->
+  Rumor_graph.Graph.t ->
+  source:int ->
+  agents:Rumor_agents.Placement.spec ->
+  max_rounds:int ->
+  unit ->
+  Run_result.t
+(** [run rng g ~source ~agents ~max_rounds ()] — same conventions as
+    {!Visit_exchange.run}; the informed curve counts vertices. *)

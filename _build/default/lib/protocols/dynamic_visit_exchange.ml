@@ -1,0 +1,99 @@
+module Rng = Rumor_prob.Rng
+module Dist = Rumor_prob.Dist
+module Alias = Rumor_prob.Alias
+module Graph = Rumor_graph.Graph
+module Placement = Rumor_agents.Placement
+
+type outcome = {
+  result : Run_result.t;
+  final_population : int;
+  births : int;
+  deaths : int;
+  extinct : bool;
+}
+
+let run ?(lazy_walk = false) rng g ~source ~agents ~churn ~replace ~max_rounds () =
+  let n = Graph.n g in
+  if source < 0 || source >= n then
+    invalid_arg "Dynamic_visit_exchange.run: source out of range";
+  if not (churn >= 0.0 && churn < 1.0) then
+    invalid_arg "Dynamic_visit_exchange.run: churn outside [0, 1)";
+  if max_rounds < 0 then invalid_arg "Dynamic_visit_exchange.run: negative round cap";
+  let stationary = Placement.stationary_weights g in
+  let initial = Placement.place rng agents g in
+  let base_population = Array.length initial in
+  let p = Agent_pool.create ~capacity:(2 * base_population) in
+  Array.iter (fun v -> ignore (Agent_pool.spawn p v)) initial;
+  let vertex_time = Array.make n max_int in
+  vertex_time.(source) <- 0;
+  let informed_vertices = ref 1 in
+  let contacts = ref 0 in
+  Agent_pool.iter_alive p (fun slot ->
+      if Agent_pool.position p slot = source then begin
+        Agent_pool.set_informed_at p slot 0;
+        incr contacts
+      end);
+  let births = ref 0 and deaths = ref 0 in
+  let curve = Array.make (max_rounds + 1) 0 in
+  curve.(0) <- 1;
+  let t = ref 0 in
+  let extinct = ref false in
+  while (not !extinct) && !informed_vertices < n && !t < max_rounds do
+    incr t;
+    let round = !t in
+    (* deaths, then births at the stationary distribution *)
+    if churn > 0.0 then begin
+      Agent_pool.iter_alive p (fun slot ->
+          if Rng.bernoulli rng churn then begin
+            Agent_pool.kill p slot;
+            incr deaths
+          end);
+      if replace then begin
+        let newborn = Dist.binomial rng base_population churn in
+        for _ = 1 to newborn do
+          ignore (Agent_pool.spawn p (Alias.sample stationary rng));
+          incr births
+        done
+      end
+    end;
+    if Agent_pool.alive p = 0 then extinct := true
+    else begin
+      (* walk step *)
+      Agent_pool.iter_alive p (fun slot ->
+          if not (lazy_walk && Rng.bool rng) then
+            Agent_pool.set_position p slot
+              (Graph.random_neighbor g rng (Agent_pool.position p slot)));
+      (* previously informed agents inform their vertex *)
+      Agent_pool.iter_alive p (fun slot ->
+          if Agent_pool.informed_at p slot < round then begin
+            let v = Agent_pool.position p slot in
+            if vertex_time.(v) = max_int then begin
+              vertex_time.(v) <- round;
+              incr informed_vertices;
+              incr contacts
+            end
+          end);
+      (* uninformed agents learn from informed vertices *)
+      Agent_pool.iter_alive p (fun slot ->
+          if
+            Agent_pool.informed_at p slot = Agent_pool.uninformed
+            && vertex_time.(Agent_pool.position p slot) <= round
+          then begin
+            Agent_pool.set_informed_at p slot round;
+            incr contacts
+          end)
+    end;
+    curve.(round) <- !informed_vertices
+  done;
+  let rounds_run = !t in
+  let broadcast_time = if !informed_vertices = n then Some rounds_run else None in
+  {
+    result =
+      Run_result.make ~broadcast_time ~rounds_run
+        ~informed_curve:(Array.sub curve 0 (rounds_run + 1))
+        ~contacts:!contacts ();
+    final_population = Agent_pool.alive p;
+    births = !births;
+    deaths = !deaths;
+    extinct = !extinct;
+  }

@@ -1,0 +1,40 @@
+(** Visit-exchange with a dynamic, failure-prone agent population — the
+    fault-tolerant variant sketched in the paper's open problems (Section 9):
+
+    "it seems likely that the protocols could tolerate some number of lost
+    agents, if a dynamic set of agents were used, where agents age with
+    time and die, while new agents are born at a proportional rate."
+
+    Each round, every agent independently dies with probability [churn];
+    with [replace = true], Binomial(|A_0|, churn) fresh (uninformed) agents
+    are born at stationary positions, keeping the expected population at its
+    initial size.  With [replace = false] the population only shrinks,
+    modelling permanent agent loss.
+
+    Ablation A6 measures both modes: with replacement the broadcast time
+    degrades gracefully even under heavy churn; without replacement the
+    protocol eventually fails once too few agents remain. *)
+
+type outcome = {
+  result : Run_result.t;
+  final_population : int;
+  births : int;
+  deaths : int;
+  extinct : bool;  (** the population hit zero before broadcast *)
+}
+
+val run :
+  ?lazy_walk:bool ->
+  Rumor_prob.Rng.t ->
+  Rumor_graph.Graph.t ->
+  source:int ->
+  agents:Rumor_agents.Placement.spec ->
+  churn:float ->
+  replace:bool ->
+  max_rounds:int ->
+  unit ->
+  outcome
+(** [run rng g ~source ~agents ~churn ~replace ~max_rounds ()].  [churn] in
+    [0, 1); [churn = 0.] recovers plain visit-exchange.
+    @raise Invalid_argument on bad source, churn outside [0, 1), or a
+    negative round cap. *)

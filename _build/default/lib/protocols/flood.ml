@@ -1,0 +1,35 @@
+module Graph = Rumor_graph.Graph
+
+let run g ~source ~max_rounds () =
+  let n = Graph.n g in
+  if source < 0 || source >= n then invalid_arg "Flood.run: source out of range";
+  if max_rounds < 0 then invalid_arg "Flood.run: negative round cap";
+  let informed = Array.make n false in
+  informed.(source) <- true;
+  let frontier = ref [ source ] in
+  let count = ref 1 in
+  let contacts = ref 0 in
+  let curve = Array.make (max_rounds + 1) 0 in
+  curve.(0) <- 1;
+  let t = ref 0 in
+  while !count < n && !frontier <> [] && !t < max_rounds do
+    incr t;
+    let next = ref [] in
+    List.iter
+      (fun u ->
+        Graph.iter_neighbors g u (fun v ->
+            incr contacts;
+            if not informed.(v) then begin
+              informed.(v) <- true;
+              incr count;
+              next := v :: !next
+            end))
+      !frontier;
+    frontier := !next;
+    curve.(!t) <- !count
+  done;
+  let rounds_run = !t in
+  let broadcast_time = if !count = n then Some rounds_run else None in
+  Run_result.make ~broadcast_time ~rounds_run
+    ~informed_curve:(Array.sub curve 0 (rounds_run + 1))
+    ~contacts:!contacts ()

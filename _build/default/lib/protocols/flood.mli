@@ -1,0 +1,14 @@
+(** Deterministic flooding: each round, every vertex informed in the
+    previous round sends the rumor to all its neighbors.
+
+    Flooding completes in exactly [ecc(source)] rounds — the graph-distance
+    lower bound every protocol in this library is measured against.  The
+    implementation floods from the newly informed frontier only (informing
+    is idempotent, so re-sends change nothing), which makes the total
+    message count exactly the sum of frontier degrees — at most [2m] over
+    the whole run.  It is the natural baseline for the time floor. *)
+
+val run :
+  Rumor_graph.Graph.t -> source:int -> max_rounds:int -> unit -> Run_result.t
+(** [run g ~source ~max_rounds ()].  No randomness is involved.  Contacts
+    count one per directed edge out of each round's frontier. *)

@@ -1,0 +1,62 @@
+module Rng = Rumor_prob.Rng
+module Graph = Rumor_graph.Graph
+
+type result = {
+  run_result : Run_result.t;
+  awake_curve : int array;
+}
+
+let run ?(frogs_per_vertex = 1) rng g ~source ~max_rounds () =
+  let n = Graph.n g in
+  if source < 0 || source >= n then invalid_arg "Frog.run: source out of range";
+  if frogs_per_vertex < 1 then invalid_arg "Frog.run: frogs_per_vertex < 1";
+  if max_rounds < 0 then invalid_arg "Frog.run: negative round cap";
+  let total_frogs = n * frogs_per_vertex in
+  (* awake frogs stored as a growing prefix of [pos]; sleeping frogs are
+     represented implicitly by their home vertex until woken *)
+  let pos = Array.make total_frogs 0 in
+  let awake = ref 0 in
+  let visited = Array.make n false in
+  let visited_count = ref 1 in
+  let sleeping = Array.make n frogs_per_vertex in
+  let contacts = ref 0 in
+  let wake_vertex v =
+    (* all sleeping frogs at v wake up, positioned at v *)
+    for _ = 1 to sleeping.(v) do
+      pos.(!awake) <- v;
+      incr awake;
+      incr contacts
+    done;
+    sleeping.(v) <- 0
+  in
+  visited.(source) <- true;
+  wake_vertex source;
+  let curve = Array.make (max_rounds + 1) 0 in
+  curve.(0) <- 1;
+  let awake_hist = Array.make (max_rounds + 1) 0 in
+  awake_hist.(0) <- !awake;
+  let t = ref 0 in
+  while !visited_count < n && !t < max_rounds do
+    incr t;
+    let moving = !awake in
+    for a = 0 to moving - 1 do
+      let v = Graph.random_neighbor g rng pos.(a) in
+      pos.(a) <- v;
+      if not visited.(v) then begin
+        visited.(v) <- true;
+        incr visited_count
+      end;
+      if sleeping.(v) > 0 then wake_vertex v
+    done;
+    curve.(!t) <- !visited_count;
+    awake_hist.(!t) <- !awake
+  done;
+  let rounds_run = !t in
+  let broadcast_time = if !visited_count = n then Some rounds_run else None in
+  {
+    run_result =
+      Run_result.make ~broadcast_time ~rounds_run
+        ~informed_curve:(Array.sub curve 0 (rounds_run + 1))
+        ~contacts:!contacts ();
+    awake_curve = Array.sub awake_hist 0 (rounds_run + 1);
+  }

@@ -1,0 +1,31 @@
+(** The frog model (Alves–Machado–Popov [3], Popov [40], Hermon [29]; cited
+    in Section 2).
+
+    Initially one sleeping agent (a "frog") sits on every vertex except the
+    source, whose frog is awake and informed.  Awake frogs perform
+    independent random walks; when an awake frog visits a vertex, the
+    sleeping frog there wakes up (informed) and starts its own walk.  The
+    process differs from meet-exchange in that uninformed agents do not
+    move, and from visit-exchange in that vertices store nothing — waking
+    is the only transfer.
+
+    Broadcast completes when every frog is awake, which on a connected
+    graph coincides with every vertex having been visited.  Experiment R5
+    compares the frog model to the paper's two agent-based protocols. *)
+
+type result = {
+  run_result : Run_result.t;
+  awake_curve : int array;  (** awake frogs after each round *)
+}
+
+val run :
+  ?frogs_per_vertex:int ->
+  Rumor_prob.Rng.t ->
+  Rumor_graph.Graph.t ->
+  source:int ->
+  max_rounds:int ->
+  unit ->
+  result
+(** [run rng g ~source ~max_rounds ()].  [frogs_per_vertex] (default 1)
+    places that many sleeping frogs on every vertex.  The informed curve
+    counts visited vertices. *)

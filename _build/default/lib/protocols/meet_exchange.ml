@@ -1,0 +1,92 @@
+module Graph = Rumor_graph.Graph
+module Placement = Rumor_agents.Placement
+module Walkers = Rumor_agents.Walkers
+
+type detailed = {
+  result : Run_result.t;
+  agent_time : int array;
+  first_pickup : int option;
+}
+
+let run_detailed ?traffic ?lazy_walk rng g ~source ~agents ~max_rounds () =
+  let n = Graph.n g in
+  if source < 0 || source >= n then
+    invalid_arg "Meet_exchange.run: source out of range";
+  if max_rounds < 0 then invalid_arg "Meet_exchange.run: negative round cap";
+  let w = Walkers.of_spec ?lazy_walk rng g agents in
+  let k = Walkers.agent_count w in
+  let agent_time = Array.make k max_int in
+  let buckets = Walkers.Buckets.create w in
+  let contacts = ref 0 in
+  let informed = ref 0 in
+  (* round 0: agents standing on the source are informed *)
+  for a = 0 to k - 1 do
+    if Walkers.position w a = source then begin
+      agent_time.(a) <- 0;
+      incr informed;
+      incr contacts
+    end
+  done;
+  let source_active = ref (!informed = 0) in
+  let first_pickup = ref (if !informed > 0 then Some 0 else None) in
+  let curve = Array.make (max_rounds + 1) 0 in
+  curve.(0) <- !informed;
+  let t = ref 0 in
+  while !informed < k && !t < max_rounds do
+    incr t;
+    let round = !t in
+    (match traffic with
+    | None -> Walkers.step w
+    | Some tr ->
+        Walkers.step_with w (fun _ from to_ ->
+            if from <> to_ then Traffic.record tr from to_));
+    Walkers.Buckets.refresh buckets w;
+    (* source hand-off: the first agents to visit s become informed (all of
+       them if simultaneous); they start spreading only next round *)
+    if !source_active && Walkers.Buckets.count_at buckets source > 0 then begin
+      Walkers.Buckets.iter_at buckets source (fun a ->
+          if agent_time.(a) = max_int then begin
+            agent_time.(a) <- round;
+            incr informed;
+            incr contacts
+          end);
+      source_active := false;
+      first_pickup := Some round
+    end;
+    (* meetings: a vertex holding some agent informed in a previous round
+       informs every agent standing on it.  Chains within a round cannot
+       occur: an agent informed this round shares its vertex with the
+       (< round)-informed agent that informed it, so any third co-located
+       agent is informed by that same witness directly. *)
+    for v = 0 to n - 1 do
+      if Walkers.Buckets.count_at buckets v >= 2 then begin
+        let witness = ref false in
+        Walkers.Buckets.iter_at buckets v (fun a ->
+            if agent_time.(a) < round then witness := true);
+        if !witness then
+          Walkers.Buckets.iter_at buckets v (fun a ->
+              if agent_time.(a) = max_int then begin
+                agent_time.(a) <- round;
+                incr informed;
+                incr contacts
+              end)
+      end
+    done;
+    curve.(round) <- !informed
+  done;
+  let rounds_run = !t in
+  let broadcast_time = if !informed = k then Some rounds_run else None in
+  let result =
+    Run_result.make ~all_agents_informed:broadcast_time ~broadcast_time
+      ~rounds_run
+      ~informed_curve:(Array.sub curve 0 (rounds_run + 1))
+      ~contacts:!contacts ()
+  in
+  { result; agent_time; first_pickup = !first_pickup }
+
+let run ?traffic ?lazy_walk rng g ~source ~agents ~max_rounds () =
+  (run_detailed ?traffic ?lazy_walk rng g ~source ~agents ~max_rounds ()).result
+
+let run_auto ?traffic rng g ~source ~agents ~max_rounds () =
+  let lazy_walk = Rumor_graph.Algo.is_bipartite g in
+  run ?traffic ~lazy_walk rng g ~source ~agents ~max_rounds ()

@@ -1,0 +1,57 @@
+(** The meet-exchange protocol (Section 3 of the paper).
+
+    Only agents store information.  Round 0 informs every agent standing on
+    the source; if there is none, the {e first} agents to visit the source
+    later become informed (all of them, if several arrive simultaneously),
+    after which the source stops informing.  In each round, whenever two
+    agents meet on a vertex and exactly one of them was informed in a
+    previous round, the other becomes informed.  Broadcast completes when
+    all {e agents} are informed.
+
+    On bipartite graphs the non-lazy process can fail to complete (walks in
+    opposite parity classes never meet); pass [~lazy_walk:true] as the paper
+    does, or use {!run_auto} which decides by testing bipartiteness. *)
+
+val run :
+  ?traffic:Traffic.t ->
+  ?lazy_walk:bool ->
+  Rumor_prob.Rng.t ->
+  Rumor_graph.Graph.t ->
+  source:int ->
+  agents:Rumor_agents.Placement.spec ->
+  max_rounds:int ->
+  unit ->
+  Run_result.t
+(** [run rng g ~source ~agents ~max_rounds ()].  The informed curve counts
+    informed {e agents}.  Contacts count one per agent→agent transfer plus
+    one per source→agent transfer. *)
+
+val run_auto :
+  ?traffic:Traffic.t ->
+  Rumor_prob.Rng.t ->
+  Rumor_graph.Graph.t ->
+  source:int ->
+  agents:Rumor_agents.Placement.spec ->
+  max_rounds:int ->
+  unit ->
+  Run_result.t
+(** Like {!run}, with [lazy_walk] set automatically to whether the graph is
+    bipartite. *)
+
+(** Detailed outcome with per-agent informing rounds. *)
+type detailed = {
+  result : Run_result.t;
+  agent_time : int array;
+  first_pickup : int option;  (** round the source handed off the rumor *)
+}
+
+val run_detailed :
+  ?traffic:Traffic.t ->
+  ?lazy_walk:bool ->
+  Rumor_prob.Rng.t ->
+  Rumor_graph.Graph.t ->
+  source:int ->
+  agents:Rumor_agents.Placement.spec ->
+  max_rounds:int ->
+  unit ->
+  detailed

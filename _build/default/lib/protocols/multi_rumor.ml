@@ -1,0 +1,84 @@
+module Graph = Rumor_graph.Graph
+module Walkers = Rumor_agents.Walkers
+
+type injection = { rumor_source : int; start_round : int }
+
+type result = {
+  per_rumor_time : int array;
+  rounds_run : int;
+  all_done : bool;
+}
+
+let run ?lazy_walk rng g ~injections ~agents ~max_rounds =
+  let n = Graph.n g in
+  let r = Array.length injections in
+  if r = 0 then invalid_arg "Multi_rumor.run: no injections";
+  if r > 62 then invalid_arg "Multi_rumor.run: more than 62 rumors";
+  Array.iter
+    (fun inj ->
+      if inj.rumor_source < 0 || inj.rumor_source >= n then
+        invalid_arg "Multi_rumor.run: source out of range";
+      if inj.start_round < 0 then invalid_arg "Multi_rumor.run: negative start round")
+    injections;
+  if max_rounds < 0 then invalid_arg "Multi_rumor.run: negative round cap";
+  let w = Walkers.of_spec ?lazy_walk rng g agents in
+  let k = Walkers.agent_count w in
+  let vmask = Array.make n 0 in
+  let amask = Array.make k 0 in
+  (* per-rumor vertex counts and completion rounds *)
+  let counts = Array.make r 0 in
+  let done_at = Array.make r max_int in
+  let remaining = ref r in
+  let give_vertex v bits round =
+    let fresh = bits land lnot vmask.(v) in
+    if fresh <> 0 then begin
+      vmask.(v) <- vmask.(v) lor fresh;
+      for i = 0 to r - 1 do
+        if fresh land (1 lsl i) <> 0 then begin
+          counts.(i) <- counts.(i) + 1;
+          if counts.(i) = n then begin
+            done_at.(i) <- round;
+            decr remaining
+          end
+        end
+      done
+    end
+  in
+  let inject round =
+    Array.iteri
+      (fun i inj ->
+        if inj.start_round = round then give_vertex inj.rumor_source (1 lsl i) round)
+      injections
+  in
+  (* round 0: inject the round-zero rumors; agents standing on an informed
+     vertex pick up its rumors without stepping *)
+  inject 0;
+  for a = 0 to k - 1 do
+    amask.(a) <- amask.(a) lor vmask.(Walkers.position w a)
+  done;
+  let latest_start =
+    Array.fold_left (fun acc inj -> max acc inj.start_round) 0 injections
+  in
+  let t = ref 0 in
+  while (!remaining > 0 || !t < latest_start) && !t < max_rounds do
+    incr t;
+    let round = !t in
+    Walkers.step w;
+    (* rumors the agents held before this round flow into their vertices *)
+    for a = 0 to k - 1 do
+      let v = Walkers.position w a in
+      if amask.(a) land lnot vmask.(v) <> 0 then give_vertex v amask.(a) round
+    done;
+    inject round;
+    (* agents pick up everything their current vertex now knows *)
+    for a = 0 to k - 1 do
+      amask.(a) <- amask.(a) lor vmask.(Walkers.position w a)
+    done
+  done;
+  let per_rumor_time =
+    Array.mapi
+      (fun i inj ->
+        if done_at.(i) = max_int then max_int else done_at.(i) - inj.start_round)
+      injections
+  in
+  { per_rumor_time; rounds_run = !t; all_done = !remaining = 0 }

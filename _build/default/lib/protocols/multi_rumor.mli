@@ -1,0 +1,38 @@
+(** Multiple rumors over one agent population — the paper's motivating
+    setting for stationary starts (Section 1):
+
+    "several pieces of information (or rumors) are generated frequently and
+    distributed in parallel over time by the same set of agents, which
+    execute perpetual independent random walks."
+
+    This runs visit-exchange with up to 62 rumors, each with its own source
+    vertex and injection round.  Vertices and agents carry rumor {e sets}
+    (an int bitmask), and every agent–vertex visit unions the two sets in
+    both directions, so all rumors ride the same walks at no extra
+    communication rounds.  Experiment R6 checks that per-rumor broadcast
+    times in the multi-rumor run match the single-rumor broadcast time —
+    rumors do not slow each other down. *)
+
+type injection = { rumor_source : int; start_round : int }
+
+type result = {
+  per_rumor_time : int array;
+      (** completion round per rumor, measured from its injection round;
+          [max_int] if not complete when the run ended *)
+  rounds_run : int;
+  all_done : bool;
+}
+
+val run :
+  ?lazy_walk:bool ->
+  Rumor_prob.Rng.t ->
+  Rumor_graph.Graph.t ->
+  injections:injection array ->
+  agents:Rumor_agents.Placement.spec ->
+  max_rounds:int ->
+  result
+(** [run rng g ~injections ~agents ~max_rounds].  At round
+    [start_round] of injection [i], its source vertex (and the agents
+    standing on it) learn rumor [i]; spreading then follows the
+    visit-exchange rules rumor-wise.  @raise Invalid_argument if there are
+    no injections, more than 62, or any source/round is out of range. *)

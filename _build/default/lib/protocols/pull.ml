@@ -1,0 +1,35 @@
+module Rng = Rumor_prob.Rng
+module Graph = Rumor_graph.Graph
+
+let run ?traffic rng g ~source ~max_rounds () =
+  let n = Graph.n g in
+  if source < 0 || source >= n then invalid_arg "Pull.run: source out of range";
+  if max_rounds < 0 then invalid_arg "Pull.run: negative round cap";
+  let informed_round = Array.make n max_int in
+  informed_round.(source) <- 0;
+  let count = ref 1 in
+  let contacts = ref 0 in
+  let curve = Array.make (max_rounds + 1) 0 in
+  curve.(0) <- 1;
+  let t = ref 0 in
+  while !count < n && !t < max_rounds do
+    incr t;
+    let round = !t in
+    for u = 0 to n - 1 do
+      if informed_round.(u) > round then begin
+        let v = Graph.random_neighbor g rng u in
+        incr contacts;
+        (match traffic with Some tr -> Traffic.record tr u v | None -> ());
+        if informed_round.(v) < round then begin
+          informed_round.(u) <- round;
+          incr count
+        end
+      end
+    done;
+    curve.(round) <- !count
+  done;
+  let rounds_run = !t in
+  let broadcast_time = if !count = n then Some rounds_run else None in
+  Run_result.make ~broadcast_time ~rounds_run
+    ~informed_curve:(Array.sub curve 0 (rounds_run + 1))
+    ~contacts:!contacts ()

@@ -1,0 +1,54 @@
+module Rng = Rumor_prob.Rng
+module Graph = Rumor_graph.Graph
+
+(* Shared engine: simulates push and fills [tau] with per-vertex informing
+   rounds.  Work per round is O(number of vertices informed in previous
+   rounds), using a dense array of informed vertices in informing order. *)
+let simulate ?traffic ?(failure_prob = 0.0) rng g ~source ~max_rounds tau =
+  let n = Graph.n g in
+  if source < 0 || source >= n then invalid_arg "Push.run: source out of range";
+  if max_rounds < 0 then invalid_arg "Push.run: negative round cap";
+  if not (failure_prob >= 0.0 && failure_prob < 1.0) then
+    invalid_arg "Push.run: failure_prob outside [0, 1)";
+  Array.fill tau 0 n max_int;
+  let order = Array.make n 0 in
+  (* order.(0 .. count-1) lists informed vertices; the first [active] of them
+     were informed in a previous round and push this round *)
+  tau.(source) <- 0;
+  order.(0) <- source;
+  let count = ref 1 in
+  let contacts = ref 0 in
+  let curve = Array.make (max_rounds + 1) 0 in
+  curve.(0) <- 1;
+  let t = ref 0 in
+  while !count < n && !t < max_rounds do
+    incr t;
+    let active = !count in
+    for i = 0 to active - 1 do
+      let u = order.(i) in
+      let v = Graph.random_neighbor g rng u in
+      incr contacts;
+      (match traffic with Some tr -> Traffic.record tr u v | None -> ());
+      let delivered = failure_prob = 0.0 || not (Rng.bernoulli rng failure_prob) in
+      if delivered && tau.(v) = max_int then begin
+        tau.(v) <- !t;
+        order.(!count) <- v;
+        incr count
+      end
+    done;
+    curve.(!t) <- !count
+  done;
+  let rounds_run = !t in
+  let broadcast_time = if !count = n then Some rounds_run else None in
+  Run_result.make ~broadcast_time ~rounds_run
+    ~informed_curve:(Array.sub curve 0 (rounds_run + 1))
+    ~contacts:!contacts ()
+
+let run ?traffic ?failure_prob rng g ~source ~max_rounds () =
+  let tau = Array.make (Graph.n g) max_int in
+  simulate ?traffic ?failure_prob rng g ~source ~max_rounds tau
+
+let informed_times rng g ~source ~max_rounds =
+  let tau = Array.make (Graph.n g) max_int in
+  let (_ : Run_result.t) = simulate rng g ~source ~max_rounds tau in
+  tau

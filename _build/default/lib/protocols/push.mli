@@ -1,0 +1,43 @@
+(** The push rumor-spreading protocol (Demers et al.; Section 3 of the
+    paper).
+
+    Round 0 informs the source.  In every round [t >= 1], each vertex that
+    was informed in a previous round samples a uniformly random neighbor and
+    sends it the rumor.  Broadcast completes when all vertices are
+    informed.
+
+    The implementation does O(informed vertices) work per round, so a run
+    costs O(sum of the informed-curve), and is exact — no approximation of
+    the process is made. *)
+
+val run :
+  ?traffic:Traffic.t ->
+  ?failure_prob:float ->
+  Rumor_prob.Rng.t ->
+  Rumor_graph.Graph.t ->
+  source:int ->
+  max_rounds:int ->
+  unit ->
+  Run_result.t
+(** [run rng g ~source ~max_rounds ()] simulates until broadcast or until
+    [max_rounds] rounds have run.  [traffic] accumulates one use per push
+    contact.
+
+    [failure_prob] (default 0) drops each transmission independently with
+    that probability — the random-failure model of Elsässer–Sauerwald [22],
+    which the paper's Lemma 4 proof relies on ("random failures of
+    transmission with probability 1/l do not change the broadcast time
+    asymptotically").  Failed contacts still count towards [contacts] and
+    [traffic] (the call happens; the payload is lost).
+    @raise Invalid_argument if [source] is out of range or [failure_prob]
+    is outside [0, 1). *)
+
+val informed_times :
+  Rumor_prob.Rng.t ->
+  Rumor_graph.Graph.t ->
+  source:int ->
+  max_rounds:int ->
+  int array
+(** [informed_times rng g ~source ~max_rounds] returns per-vertex informing
+    rounds [tau_u] ([max_int] if never informed within the cap) — the
+    quantity the Section 5 coupling argument reasons about. *)

@@ -1,0 +1,20 @@
+(** The push-pull rumor-spreading protocol (Karp et al.; Section 3 of the
+    paper).
+
+    In every round [t >= 1], {e every} vertex — informed or not — samples a
+    uniformly random neighbor, and if exactly one endpoint of the resulting
+    contact was informed before round [t], the other endpoint becomes
+    informed.  Work per round is Theta(n); broadcast completes when all
+    vertices are informed. *)
+
+val run :
+  ?traffic:Traffic.t ->
+  Rumor_prob.Rng.t ->
+  Rumor_graph.Graph.t ->
+  source:int ->
+  max_rounds:int ->
+  unit ->
+  Run_result.t
+(** [run rng g ~source ~max_rounds ()].  Each vertex's call counts as one
+    contact (n contacts per round). @raise Invalid_argument on a bad source
+    or an isolated vertex. *)

@@ -1,0 +1,44 @@
+module Rng = Rumor_prob.Rng
+module Graph = Rumor_graph.Graph
+
+let run rng g ~source ~max_rounds () =
+  let n = Graph.n g in
+  if source < 0 || source >= n then invalid_arg "Quasi_push.run: source out of range";
+  if max_rounds < 0 then invalid_arg "Quasi_push.run: negative round cap";
+  let informed = Array.make n false in
+  (* cursor.(u): next position in u's neighbor cycle; set when informed *)
+  let cursor = Array.make n 0 in
+  let order = Array.make n 0 in
+  let inform u =
+    informed.(u) <- true;
+    cursor.(u) <- Rng.int rng (Graph.degree g u)
+  in
+  inform source;
+  order.(0) <- source;
+  let count = ref 1 in
+  let contacts = ref 0 in
+  let curve = Array.make (max_rounds + 1) 0 in
+  curve.(0) <- 1;
+  let t = ref 0 in
+  while !count < n && !t < max_rounds do
+    incr t;
+    let active = !count in
+    for i = 0 to active - 1 do
+      let u = order.(i) in
+      let d = Graph.degree g u in
+      let v = Graph.neighbor g u (cursor.(u) mod d) in
+      cursor.(u) <- cursor.(u) + 1;
+      incr contacts;
+      if not informed.(v) then begin
+        inform v;
+        order.(!count) <- v;
+        incr count
+      end
+    done;
+    curve.(!t) <- !count
+  done;
+  let rounds_run = !t in
+  let broadcast_time = if !count = n then Some rounds_run else None in
+  Run_result.make ~broadcast_time ~rounds_run
+    ~informed_curve:(Array.sub curve 0 (rounds_run + 1))
+    ~contacts:!contacts ()

@@ -1,0 +1,25 @@
+type t = {
+  broadcast_time : int option;
+  rounds_run : int;
+  informed_curve : int array;
+  contacts : int;
+  all_agents_informed : int option;
+}
+
+let completed t = t.broadcast_time <> None
+
+let time_exn t =
+  match t.broadcast_time with
+  | Some r -> r
+  | None -> invalid_arg "Run_result.time_exn: run was capped"
+
+let make ?(all_agents_informed = None) ~broadcast_time ~rounds_run ~informed_curve
+    ~contacts () =
+  { broadcast_time; rounds_run; informed_curve; contacts; all_agents_informed }
+
+let pp ppf t =
+  match t.broadcast_time with
+  | Some r -> Format.fprintf ppf "broadcast in %d rounds (%d contacts)" r t.contacts
+  | None ->
+      Format.fprintf ppf "capped after %d rounds (%d contacts)" t.rounds_run
+        t.contacts

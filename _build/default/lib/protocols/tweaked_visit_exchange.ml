@@ -1,0 +1,161 @@
+module Rng = Rumor_prob.Rng
+module Graph = Rumor_graph.Graph
+module Placement = Rumor_agents.Placement
+
+type outcome = {
+  result : Run_result.t;
+  interventions : int;
+  first_intervention : int option;
+  final_agents : int;
+}
+
+(* Shared visit-exchange engine over an Agent_pool, parameterised by a clamp
+   hook invoked with the round number: [clamp ~round] may add or remove
+   agents (returning how many it touched) and must keep [occ] consistent. *)
+let engine ?(lazy_walk = false) rng g ~source ~agents ~max_rounds ~clamp () =
+  let n = Graph.n g in
+  if source < 0 || source >= n then
+    invalid_arg "Tweaked_visit_exchange: source out of range";
+  if max_rounds < 0 then invalid_arg "Tweaked_visit_exchange: negative round cap";
+  let initial = Placement.place rng agents g in
+  let p = Agent_pool.create ~capacity:(2 * Array.length initial) in
+  let occ = Array.make n 0 in
+  Array.iter
+    (fun v ->
+      ignore (Agent_pool.spawn p v);
+      occ.(v) <- occ.(v) + 1)
+    initial;
+  let vertex_time = Array.make n max_int in
+  vertex_time.(source) <- 0;
+  let informed_vertices = ref 1 in
+  let contacts = ref 0 in
+  Agent_pool.iter_alive p (fun slot ->
+      if Agent_pool.position p slot = source then begin
+        Agent_pool.set_informed_at p slot 0;
+        incr contacts
+      end);
+  let interventions = ref 0 in
+  let first_intervention = ref None in
+  let apply_clamp round =
+    let touched = clamp p occ vertex_time ~round in
+    if touched > 0 then begin
+      interventions := !interventions + touched;
+      if !first_intervention = None then first_intervention := Some round
+    end
+  in
+  apply_clamp 0;
+  let curve = Array.make (max_rounds + 1) 0 in
+  curve.(0) <- 1;
+  let t = ref 0 in
+  while !informed_vertices < n && !t < max_rounds && Agent_pool.alive p > 0 do
+    incr t;
+    let round = !t in
+    Agent_pool.iter_alive p (fun slot ->
+        if not (lazy_walk && Rng.bool rng) then begin
+          let u = Agent_pool.position p slot in
+          let v = Graph.random_neighbor g rng u in
+          occ.(u) <- occ.(u) - 1;
+          occ.(v) <- occ.(v) + 1;
+          Agent_pool.set_position p slot v
+        end);
+    Agent_pool.iter_alive p (fun slot ->
+        if Agent_pool.informed_at p slot < round then begin
+          let v = Agent_pool.position p slot in
+          if vertex_time.(v) = max_int then begin
+            vertex_time.(v) <- round;
+            incr informed_vertices;
+            incr contacts
+          end
+        end);
+    Agent_pool.iter_alive p (fun slot ->
+        if
+          Agent_pool.informed_at p slot = Agent_pool.uninformed
+          && vertex_time.(Agent_pool.position p slot) <= round
+        then begin
+          Agent_pool.set_informed_at p slot round;
+          incr contacts
+        end);
+    apply_clamp round;
+    curve.(round) <- !informed_vertices
+  done;
+  let rounds_run = !t in
+  let broadcast_time = if !informed_vertices = n then Some rounds_run else None in
+  {
+    result =
+      Run_result.make ~broadcast_time ~rounds_run
+        ~informed_curve:(Array.sub curve 0 (rounds_run + 1))
+        ~contacts:!contacts ();
+    interventions = !interventions;
+    first_intervention = !first_intervention;
+    final_agents = Agent_pool.alive p;
+  }
+
+let neighborhood_load g occ u = Graph.fold_neighbors g u (fun acc v -> acc + occ.(v)) 0
+
+(* Eq. (3): remove agents until every neighborhood holds at most
+   gamma * deg(u) agents.  Removals only decrease loads, so one pass over
+   the vertices suffices. *)
+let run_t_visit_exchange ?lazy_walk rng g ~source ~agents ~gamma ~max_rounds () =
+  if not (gamma > 0.0) then invalid_arg "run_t_visit_exchange: gamma <= 0";
+  let n = Graph.n g in
+  let clamp p occ _vertex_time ~round:_ =
+    let removed = ref 0 in
+    for u = 0 to n - 1 do
+      let budget = int_of_float (gamma *. float_of_int (Graph.degree g u)) in
+      let excess = ref (neighborhood_load g occ u - budget) in
+      while !excess > 0 do
+        (* shed from the fullest neighbor of u *)
+        let victim_vertex = ref (-1) in
+        Graph.iter_neighbors g u (fun v ->
+            if !victim_vertex < 0 || occ.(v) > occ.(!victim_vertex) then
+              victim_vertex := v);
+        match Agent_pool.find_alive_at p !victim_vertex with
+        | Some slot ->
+            Agent_pool.kill p slot;
+            occ.(!victim_vertex) <- occ.(!victim_vertex) - 1;
+            incr removed;
+            decr excess
+        | None ->
+            (* occupancy says there is an agent; absence is a logic error *)
+            assert false
+      done
+    done;
+    !removed
+  in
+  engine ?lazy_walk rng g ~source ~agents ~max_rounds ~clamp ()
+
+(* Eq. (10): before each odd round ensure every neighborhood holds at least
+   |A| * deg(u) / (2n) agents; added agents adopt the informed state of the
+   vertex they are placed on.  Additions only increase loads, so one pass
+   suffices. *)
+let run_r_visit_exchange ?lazy_walk rng g ~source ~agents ~max_rounds () =
+  let n = Graph.n g in
+  let base = Placement.count agents g in
+  let clamp p occ vertex_time ~round =
+    (* the paper applies the lower clamp after odd rounds (agents move
+       independently of the coupling on even rounds); round 0 counts *)
+    if round land 1 = 0 && round <> 0 then 0
+    else begin
+      let added = ref 0 in
+      for u = 0 to n - 1 do
+        let need =
+          int_of_float
+            (ceil (float_of_int (base * Graph.degree g u) /. float_of_int (2 * n)))
+        in
+        let deficit = ref (need - neighborhood_load g occ u) in
+        while !deficit > 0 do
+          (* top up the emptiest neighbor of u *)
+          let host = ref (-1) in
+          Graph.iter_neighbors g u (fun v ->
+              if !host < 0 || occ.(v) < occ.(!host) then host := v);
+          let slot = Agent_pool.spawn p !host in
+          if vertex_time.(!host) <= round then Agent_pool.set_informed_at p slot round;
+          occ.(!host) <- occ.(!host) + 1;
+          incr added;
+          decr deficit
+        done
+      done;
+      !added
+    end
+  in
+  engine ?lazy_walk rng g ~source ~agents ~max_rounds ~clamp ()

@@ -1,0 +1,54 @@
+(** The two modified processes the regular-graph proofs analyse, as
+    executable code.
+
+    - {b t-visit-exchange} (Section 5.2, Eq. 3): after each round, if some
+      vertex [u] has more than [gamma * d] agents in its neighborhood, a
+      minimal set of agents is removed until the condition holds for every
+      vertex.  Lemma 12 says that for [d = Omega(log n)] and a suitable
+      constant [gamma] the clamp never fires in polynomially many rounds
+      w.h.p. — so on the paper's graphs the process is indistinguishable
+      from visit-exchange, which tests verify by checking [removed = 0].
+
+    - {b r-visit-exchange} (Section 6.2, Eq. 10): before each odd round, if
+      some vertex has fewer than [|A| d / 2n] agents in its neighborhood,
+      new agents are added (at that vertex, adopting its informed state)
+      until the condition holds.  Lemma 21 similarly says additions are
+      never needed w.h.p. on the theorem's graphs.
+
+    Both processes report how often and how much they intervened, so
+    experiments can confirm the "w.h.p. nothing happens" lemmas and also
+    exhibit graphs (the star) where the interventions are real. *)
+
+type outcome = {
+  result : Run_result.t;
+  interventions : int;  (** agents removed (t-) or added (r-) in total *)
+  first_intervention : int option;  (** round of the first clamp, if any *)
+  final_agents : int;
+}
+
+val run_t_visit_exchange :
+  ?lazy_walk:bool ->
+  Rumor_prob.Rng.t ->
+  Rumor_graph.Graph.t ->
+  source:int ->
+  agents:Rumor_agents.Placement.spec ->
+  gamma:float ->
+  max_rounds:int ->
+  unit ->
+  outcome
+(** Eq. (3): enforce [sum over v in N(u) of |Z_v(t)| <= gamma * d_max] after
+    every round by removing agents (uninformed first, then arbitrary).
+    @raise Invalid_argument if [gamma <= 0.]. *)
+
+val run_r_visit_exchange :
+  ?lazy_walk:bool ->
+  Rumor_prob.Rng.t ->
+  Rumor_graph.Graph.t ->
+  source:int ->
+  agents:Rumor_agents.Placement.spec ->
+  max_rounds:int ->
+  unit ->
+  outcome
+(** Eq. (10): before each odd round, ensure every vertex has at least
+    [|A| * d(u) / (2n)] agents in its neighborhood by adding agents at the
+    deficient vertex; an added agent adopts the vertex's informed state. *)

@@ -1,0 +1,91 @@
+module Graph = Rumor_graph.Graph
+module Placement = Rumor_agents.Placement
+module Walkers = Rumor_agents.Walkers
+
+type detailed = {
+  result : Run_result.t;
+  vertex_time : int array;
+  agent_time : int array;
+}
+
+let run_detailed ?traffic ?lazy_walk rng g ~source ~agents ~max_rounds () =
+  let n = Graph.n g in
+  if source < 0 || source >= n then
+    invalid_arg "Visit_exchange.run: source out of range";
+  if max_rounds < 0 then invalid_arg "Visit_exchange.run: negative round cap";
+  let w = Walkers.of_spec ?lazy_walk rng g agents in
+  let k = Walkers.agent_count w in
+  let vertex_time = Array.make n max_int in
+  let agent_time = Array.make k max_int in
+  let contacts = ref 0 in
+  (* round 0: the source is informed, and so is every agent standing on it *)
+  vertex_time.(source) <- 0;
+  let informed_vertices = ref 1 in
+  let informed_agents = ref 0 in
+  for a = 0 to k - 1 do
+    if Walkers.position w a = source then begin
+      agent_time.(a) <- 0;
+      incr informed_agents;
+      incr contacts
+    end
+  done;
+  let curve = Array.make (max_rounds + 1) 0 in
+  curve.(0) <- 1;
+  let all_agents_round = ref (if !informed_agents = k then Some 0 else None) in
+  let t = ref 0 in
+  while (!informed_vertices < n || !all_agents_round = None) && !t < max_rounds do
+    incr t;
+    let round = !t in
+    (* phase 1: all agents step in parallel *)
+    (match traffic with
+    | None -> Walkers.step w
+    | Some tr ->
+        Walkers.step_with w (fun _ from to_ ->
+            if from <> to_ then Traffic.record tr from to_));
+    (* phase 2: agents informed in a previous round inform their vertex.
+       agent_time values set so far are all < round, so no snapshot is
+       needed. *)
+    for a = 0 to k - 1 do
+      if agent_time.(a) < round then begin
+        let v = Walkers.position w a in
+        if vertex_time.(v) = max_int then begin
+          vertex_time.(v) <- round;
+          incr informed_vertices;
+          incr contacts
+        end
+      end
+    done;
+    (* phase 3: uninformed agents standing on an informed vertex (informed
+       in any round <= round, including this one) become informed. *)
+    for a = 0 to k - 1 do
+      if agent_time.(a) = max_int && vertex_time.(Walkers.position w a) <= round
+      then begin
+        agent_time.(a) <- round;
+        incr informed_agents;
+        incr contacts
+      end
+    done;
+    if !informed_agents = k && !all_agents_round = None then
+      all_agents_round := Some round;
+    curve.(round) <- !informed_vertices
+  done;
+  let rounds_run = !t in
+  let broadcast_time =
+    if !informed_vertices = n then begin
+      (* the completion round is when the last vertex was informed, which may
+         precede rounds spent waiting for stragglers among the agents *)
+      let last = Array.fold_left (fun acc tu -> max acc tu) 0 vertex_time in
+      Some last
+    end
+    else None
+  in
+  let result =
+    Run_result.make ~all_agents_informed:!all_agents_round ~broadcast_time
+      ~rounds_run
+      ~informed_curve:(Array.sub curve 0 (rounds_run + 1))
+      ~contacts:!contacts ()
+  in
+  { result; vertex_time; agent_time }
+
+let run ?traffic ?lazy_walk rng g ~source ~agents ~max_rounds () =
+  (run_detailed ?traffic ?lazy_walk rng g ~source ~agents ~max_rounds ()).result

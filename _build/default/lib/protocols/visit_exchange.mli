@@ -1,0 +1,48 @@
+(** The visit-exchange protocol (Section 3 of the paper).
+
+    A set [A] of agents performs independent simple random walks.  Round 0
+    informs the source vertex and every agent standing on it.  In each round
+    [t >= 1] all agents take one step in parallel; then
+
+    - an agent informed in a {e previous} round informs the vertex it now
+      stands on, and
+    - an uninformed agent standing on a vertex that is informed (in a
+      previous round, or in the current round by some informed agent)
+      becomes informed.
+
+    Broadcast completes when all vertices are informed; the round at which
+    all {e agents} are informed is also reported (Theorem 23 needs it). *)
+
+val run :
+  ?traffic:Traffic.t ->
+  ?lazy_walk:bool ->
+  Rumor_prob.Rng.t ->
+  Rumor_graph.Graph.t ->
+  source:int ->
+  agents:Rumor_agents.Placement.spec ->
+  max_rounds:int ->
+  unit ->
+  Run_result.t
+(** [run rng g ~source ~agents ~max_rounds ()].  [lazy_walk] (default
+    false) makes every walk stay put with probability 1/2 each round.
+    Contacts count one per agent–vertex information transfer (in either
+    direction). *)
+
+(** Full outcome including per-vertex and per-agent informing times, used
+    by the coupling experiments and the meet-exchange comparison. *)
+type detailed = {
+  result : Run_result.t;
+  vertex_time : int array;  (** [t_u]; [max_int] if never informed *)
+  agent_time : int array;   (** round each agent became informed *)
+}
+
+val run_detailed :
+  ?traffic:Traffic.t ->
+  ?lazy_walk:bool ->
+  Rumor_prob.Rng.t ->
+  Rumor_graph.Graph.t ->
+  source:int ->
+  agents:Rumor_agents.Placement.spec ->
+  max_rounds:int ->
+  unit ->
+  detailed

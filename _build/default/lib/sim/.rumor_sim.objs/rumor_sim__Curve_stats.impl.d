@@ -1,0 +1,1 @@
+lib/sim/curve_stats.ml: Array Float Rumor_protocols

@@ -1,0 +1,1 @@
+lib/sim/curve_stats.mli: Rumor_protocols

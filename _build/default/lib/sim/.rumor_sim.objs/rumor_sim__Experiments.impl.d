@@ -1,0 +1,1 @@
+lib/sim/experiments.ml: Array Float List Printf Protocol Replicate Rumor_agents Rumor_graph Rumor_prob Rumor_protocols String Table

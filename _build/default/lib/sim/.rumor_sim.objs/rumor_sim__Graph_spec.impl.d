@@ -1,0 +1,1 @@
+lib/sim/graph_spec.ml: List Printf Rumor_graph String

@@ -1,0 +1,1 @@
+lib/sim/graph_spec.mli: Rumor_graph Rumor_prob

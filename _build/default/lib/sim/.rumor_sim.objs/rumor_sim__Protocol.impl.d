@@ -1,0 +1,1 @@
+lib/sim/protocol.ml: Rumor_agents Rumor_graph Rumor_protocols

@@ -1,0 +1,1 @@
+lib/sim/protocol.mli: Rumor_agents Rumor_graph Rumor_prob Rumor_protocols

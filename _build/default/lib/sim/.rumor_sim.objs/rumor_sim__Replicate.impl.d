@@ -1,0 +1,1 @@
+lib/sim/replicate.ml: Array Protocol Rumor_prob Rumor_protocols

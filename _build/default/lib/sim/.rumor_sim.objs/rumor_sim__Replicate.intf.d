@@ -1,0 +1,1 @@
+lib/sim/replicate.mli: Protocol Rumor_graph Rumor_prob Rumor_protocols

@@ -1,0 +1,1 @@
+lib/sim/sparkline.ml: Array Buffer Float Printf

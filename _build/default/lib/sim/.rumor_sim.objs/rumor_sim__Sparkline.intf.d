@@ -1,0 +1,1 @@
+lib/sim/sparkline.mli:

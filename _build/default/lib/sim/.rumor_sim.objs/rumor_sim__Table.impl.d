@@ -1,0 +1,1 @@
+lib/sim/table.ml: Array Buffer Float List Printf Rumor_prob String

@@ -1,0 +1,1 @@
+lib/sim/table.mli: Rumor_prob

@@ -1,0 +1,37 @@
+module Run_result = Rumor_protocols.Run_result
+
+let time_to_fraction (r : Run_result.t) q =
+  if not (q > 0.0 && q <= 1.0) then
+    invalid_arg "Curve_stats.time_to_fraction: fraction outside (0, 1]";
+  let curve = r.Run_result.informed_curve in
+  let len = Array.length curve in
+  if len = 0 then None
+  else begin
+    let target = q *. float_of_int curve.(len - 1) in
+    let rec scan t =
+      if t >= len then None
+      else if float_of_int curve.(t) >= target then Some t
+      else scan (t + 1)
+    in
+    (* a capped run's final count is its own maximum, so only report the
+       milestone if the run completed or q refers to what was reached *)
+    match r.Run_result.broadcast_time with
+    | Some _ -> scan 0
+    | None -> if target > 0.0 then scan 0 else None
+  end
+
+let half_time r = time_to_fraction r 0.5
+
+let growth_rates (r : Run_result.t) =
+  let curve = r.Run_result.informed_curve in
+  let len = Array.length curve in
+  if len <= 1 then [||]
+  else
+    Array.init (len - 1) (fun i ->
+        let prev = curve.(i) and next = curve.(i + 1) in
+        if prev = 0 then nan else float_of_int next /. float_of_int prev)
+
+let peak_growth r =
+  Array.fold_left
+    (fun acc x -> if Float.is_nan x then acc else Float.max acc x)
+    1.0 (growth_rates r)

@@ -1,0 +1,24 @@
+(** Analytics over informed-count curves.
+
+    Broadcast time is the curve's completion round; these helpers extract
+    the intermediate milestones (time to reach a fraction of the
+    population, per-round growth) that examples and ablations report. *)
+
+val time_to_fraction : Rumor_protocols.Run_result.t -> float -> int option
+(** [time_to_fraction r q] is the first round at which at least [q] of the
+    final informed count is reached ([q] in (0, 1]); [None] for an empty
+    curve or when the curve never reaches the fraction (capped runs).
+    @raise Invalid_argument if [q] is outside (0, 1]. *)
+
+val half_time : Rumor_protocols.Run_result.t -> int option
+(** [time_to_fraction r 0.5]. *)
+
+val growth_rates : Rumor_protocols.Run_result.t -> float array
+(** [growth_rates r] is the per-round multiplicative growth
+    [curve.(t) / curve.(t-1)] (rounds where the previous count was 0 yield
+    [nan]).  The maximum of this array is the empirical "doubling quality"
+    of the protocol on that instance. *)
+
+val peak_growth : Rumor_protocols.Run_result.t -> float
+(** Largest finite entry of {!growth_rates}; [1.0] for a single-round or
+    flat curve. *)

@@ -1,0 +1,37 @@
+(** The experiment suite: one experiment per figure panel / theorem of the
+    paper (see DESIGN.md section 3 for the full index).
+
+    - E1–E5 reproduce Figure 1(a)–(e) (Lemmas 2, 3, 4, 8, 9): the five
+      separator families on which the protocols' broadcast times diverge
+      polynomially or logarithmically.
+    - E6–E8 reproduce the regular-graph results (Theorems 1/10/19, 23,
+      24/25).
+    - E9 exercises the Section 5 proof machinery (coupling, C-counters,
+      Lemma 13/14 invariants) on random instances.
+    - E10 checks the introduction's claim that combining push-pull with
+      visit-exchange is fast on both families that defeat each component.
+    - A1–A4 are ablations of design choices the paper calls out (agent
+      density, lazy walks, initial placement, bandwidth fairness).
+
+    All experiments are deterministic given [seed] and scale with the
+    [profile]. *)
+
+type profile =
+  | Quick  (** small grids, few replications: seconds per experiment *)
+  | Full   (** the grids reported in EXPERIMENTS.md: minutes overall *)
+
+type t = {
+  id : string;         (** "E1" ... "E10", "A1" ... "A4" *)
+  title : string;
+  paper_ref : string;  (** e.g. "Fig 1(b), Lemma 3" *)
+  run : profile -> seed:int -> Table.t list;
+}
+
+val all : t list
+(** Every experiment, in id order. *)
+
+val find : string -> t option
+(** Lookup by id, case-insensitive. *)
+
+val run_all : ?ids:string list -> profile -> seed:int -> (t * Table.t list) list
+(** Run the selected (default: all) experiments and collect their tables. *)

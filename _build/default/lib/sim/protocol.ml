@@ -1,0 +1,72 @@
+module Placement = Rumor_agents.Placement
+module P = Rumor_protocols
+
+type lazy_mode = Lazy_off | Lazy_on | Lazy_auto
+
+type spec =
+  | Push
+  | Push_pull
+  | Visit_exchange of { agents : Placement.spec; laziness : lazy_mode }
+  | Meet_exchange of { agents : Placement.spec; laziness : lazy_mode }
+  | Combined of { agents : Placement.spec; laziness : lazy_mode }
+  | Pull
+  | Quasi_push
+  | Cobra of { branching : int }
+  | Frog of { frogs_per_vertex : int }
+  | Flood
+
+let push = Push
+let push_pull = Push_pull
+let pull = Pull
+let quasi_push = Quasi_push
+let cobra ?(branching = 2) () = Cobra { branching }
+let frog ?(frogs_per_vertex = 1) () = Frog { frogs_per_vertex }
+let flood = Flood
+
+let visit_exchange ?(alpha = 1.0) () =
+  Visit_exchange { agents = Placement.Linear alpha; laziness = Lazy_off }
+
+let meet_exchange ?(alpha = 1.0) () =
+  Meet_exchange { agents = Placement.Linear alpha; laziness = Lazy_auto }
+
+let combined ?(alpha = 1.0) () =
+  Combined { agents = Placement.Linear alpha; laziness = Lazy_off }
+
+let name = function
+  | Push -> "push"
+  | Push_pull -> "push-pull"
+  | Pull -> "pull"
+  | Visit_exchange _ -> "visit-exchange"
+  | Meet_exchange _ -> "meet-exchange"
+  | Combined _ -> "combined"
+  | Quasi_push -> "quasi-push"
+  | Cobra _ -> "cobra"
+  | Frog _ -> "frog"
+  | Flood -> "flood"
+
+let resolve_lazy laziness g =
+  match laziness with
+  | Lazy_off -> false
+  | Lazy_on -> true
+  | Lazy_auto -> Rumor_graph.Algo.is_bipartite g
+
+let run ?traffic spec rng g ~source ~max_rounds =
+  match spec with
+  | Push -> P.Push.run ?traffic rng g ~source ~max_rounds ()
+  | Push_pull -> P.Push_pull.run ?traffic rng g ~source ~max_rounds ()
+  | Pull -> P.Pull.run ?traffic rng g ~source ~max_rounds ()
+  | Visit_exchange { agents; laziness } ->
+      let lazy_walk = resolve_lazy laziness g in
+      P.Visit_exchange.run ?traffic ~lazy_walk rng g ~source ~agents ~max_rounds ()
+  | Meet_exchange { agents; laziness } ->
+      let lazy_walk = resolve_lazy laziness g in
+      P.Meet_exchange.run ?traffic ~lazy_walk rng g ~source ~agents ~max_rounds ()
+  | Combined { agents; laziness } ->
+      let lazy_walk = resolve_lazy laziness g in
+      P.Combined.run ~lazy_walk rng g ~source ~agents ~max_rounds ()
+  | Quasi_push -> P.Quasi_push.run rng g ~source ~max_rounds ()
+  | Cobra { branching } ->
+      (P.Cobra.run rng g ~source ~branching ~max_rounds ()).P.Cobra.run_result
+  | Frog { frogs_per_vertex } ->
+      (P.Frog.run ~frogs_per_vertex rng g ~source ~max_rounds ()).P.Frog.run_result
+  | Flood -> P.Flood.run g ~source ~max_rounds ()

@@ -1,0 +1,53 @@
+(** First-class protocol descriptors, so sweeps and tables can treat the
+    four protocols (and the hybrid) uniformly. *)
+
+type lazy_mode =
+  | Lazy_off   (** simple random walks *)
+  | Lazy_on    (** stay put with probability 1/2 each round *)
+  | Lazy_auto  (** lazy iff the graph is bipartite — the paper's convention
+                   for meet-exchange *)
+
+type spec =
+  | Push
+  | Push_pull
+  | Visit_exchange of { agents : Rumor_agents.Placement.spec; laziness : lazy_mode }
+  | Meet_exchange of { agents : Rumor_agents.Placement.spec; laziness : lazy_mode }
+  | Combined of { agents : Rumor_agents.Placement.spec; laziness : lazy_mode }
+  | Pull  (** pull alone, the anti-entropy mirror of push [15] *)
+  | Quasi_push  (** quasirandom rumor spreading, [19] *)
+  | Cobra of { branching : int }  (** coalescing-branching walk, [7] *)
+  | Frog of { frogs_per_vertex : int }  (** the frog model, [3, 40] *)
+  | Flood  (** deterministic flooding: the eccentricity baseline *)
+
+val push : spec
+val push_pull : spec
+val pull : spec
+val quasi_push : spec
+val cobra : ?branching:int -> unit -> spec
+val frog : ?frogs_per_vertex:int -> unit -> spec
+val flood : spec
+
+val visit_exchange : ?alpha:float -> unit -> spec
+(** Visit-exchange with [Linear alpha] stationary agents (default 1.0) and
+    non-lazy walks. *)
+
+val meet_exchange : ?alpha:float -> unit -> spec
+(** Meet-exchange with [Linear alpha] agents and [Lazy_auto] walks. *)
+
+val combined : ?alpha:float -> unit -> spec
+
+val name : spec -> string
+(** Short stable name: "push", "push-pull", "visit-exchange",
+    "pull", "meet-exchange", "combined", "quasi-push", "cobra", "frog", "flood". *)
+
+val run :
+  ?traffic:Rumor_protocols.Traffic.t ->
+  spec ->
+  Rumor_prob.Rng.t ->
+  Rumor_graph.Graph.t ->
+  source:int ->
+  max_rounds:int ->
+  Rumor_protocols.Run_result.t
+(** Dispatch to the matching protocol implementation.  [traffic] is
+    honoured by push, push-pull, pull, visit-exchange and meet-exchange;
+    the remaining processes ignore it. *)

@@ -1,0 +1,34 @@
+module Rng = Rumor_prob.Rng
+module Stats = Rumor_prob.Stats
+module Run_result = Rumor_protocols.Run_result
+
+type measurement = {
+  times : float array;
+  capped : int;
+  summary : Stats.summary;
+}
+
+let measure ~seed ~reps f =
+  if reps <= 0 then invalid_arg "Replicate.measure: reps <= 0";
+  let master = Rng.of_int seed in
+  let capped = ref 0 in
+  let times =
+    Array.init reps (fun _ ->
+        let rng = Rng.split master in
+        let result = f rng in
+        match result.Run_result.broadcast_time with
+        | Some t -> float_of_int t
+        | None ->
+            incr capped;
+            float_of_int result.Run_result.rounds_run)
+  in
+  { times; capped = !capped; summary = Stats.summarize times }
+
+let broadcast_times ~seed ~reps ~graph ~spec ~max_rounds =
+  measure ~seed ~reps (fun rng ->
+      let g, source = graph rng in
+      Protocol.run spec rng g ~source ~max_rounds)
+
+let mean m = m.summary.Stats.mean
+let median m = m.summary.Stats.median
+let max_time m = m.summary.Stats.max

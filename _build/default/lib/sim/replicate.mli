@@ -1,0 +1,39 @@
+(** Replicated measurements with independent, reproducible random streams.
+
+    The paper's statements are "in expectation" and "w.h.p."; their
+    finite-sample analogue is the mean/median over independent replications.
+    Each replication gets a generator split off a master seed, so a whole
+    table is reproducible from one integer. *)
+
+(** A replicated broadcast-time measurement. *)
+type measurement = {
+  times : float array;
+      (** per-replication broadcast times; a capped run contributes its
+          round cap (an under-estimate — see [capped]) *)
+  capped : int;  (** number of replications that hit the round cap *)
+  summary : Rumor_prob.Stats.summary;
+}
+
+val measure :
+  seed:int ->
+  reps:int ->
+  (Rumor_prob.Rng.t -> Rumor_protocols.Run_result.t) ->
+  measurement
+(** [measure ~seed ~reps f] calls [f] with [reps] independent generators.
+    @raise Invalid_argument if [reps <= 0]. *)
+
+val broadcast_times :
+  seed:int ->
+  reps:int ->
+  graph:(Rumor_prob.Rng.t -> Rumor_graph.Graph.t * int) ->
+  spec:Protocol.spec ->
+  max_rounds:int ->
+  measurement
+(** Convenience wrapper: [graph rng] builds (or re-samples, for random
+    models) the graph and source for each replication, then [spec] runs on
+    it.  The same split generator drives graph sampling and the protocol, so
+    replications are fully independent. *)
+
+val mean : measurement -> float
+val median : measurement -> float
+val max_time : measurement -> float

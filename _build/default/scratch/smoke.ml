@@ -1,0 +1,11 @@
+let () =
+  let ids = match Sys.argv with
+    | [| _ |] -> None
+    | argv -> Some (Array.to_list (Array.sub argv 1 (Array.length argv - 1)))
+  in
+  let t0 = Unix.gettimeofday () in
+  let results = Rumor_sim.Experiments.run_all ?ids Rumor_sim.Experiments.Quick ~seed:1 in
+  List.iter (fun ((e : Rumor_sim.Experiments.t), tables) ->
+    Printf.printf "\n### %s: %s [%s] (%.1fs elapsed)\n" e.id e.title e.paper_ref (Unix.gettimeofday () -. t0);
+    List.iter Rumor_sim.Table.print tables) results;
+  Printf.printf "\ntotal: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,1 @@
+test/test_algo.ml: Alcotest Array QCheck QCheck_alcotest Rumor_graph Rumor_prob

@@ -1,0 +1,1 @@
+test/test_alias.ml: Alcotest Array Float Fun Gen List Printf QCheck QCheck_alcotest Rumor_prob

@@ -1,0 +1,1 @@
+test/test_async_meet_exchange.ml: Alcotest List Printf Rumor_agents Rumor_graph Rumor_prob Rumor_protocols

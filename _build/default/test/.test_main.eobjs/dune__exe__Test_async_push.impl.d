@@ -1,0 +1,1 @@
+test/test_async_push.ml: Alcotest List Printf Rumor_graph Rumor_prob Rumor_protocols

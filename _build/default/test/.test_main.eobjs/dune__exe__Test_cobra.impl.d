@@ -1,0 +1,1 @@
+test/test_cobra.ml: Alcotest Array List Printf Rumor_graph Rumor_prob Rumor_protocols

@@ -1,0 +1,1 @@
+test/test_coupling.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Rumor_agents Rumor_graph Rumor_prob Rumor_protocols

@@ -1,0 +1,1 @@
+test/test_curve_stats.ml: Alcotest Array Rumor_graph Rumor_prob Rumor_protocols Rumor_sim

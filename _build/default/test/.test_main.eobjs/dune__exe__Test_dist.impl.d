@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Rumor_prob

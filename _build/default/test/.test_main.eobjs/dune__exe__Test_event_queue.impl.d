@@ -1,0 +1,1 @@
+test/test_event_queue.ml: Alcotest Float List QCheck QCheck_alcotest Rumor_des Rumor_prob

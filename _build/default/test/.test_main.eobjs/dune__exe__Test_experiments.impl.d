@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest List Rumor_sim String

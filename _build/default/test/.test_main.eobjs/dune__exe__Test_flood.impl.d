@@ -1,0 +1,1 @@
+test/test_flood.ml: Alcotest Array List Printf Rumor_graph Rumor_protocols

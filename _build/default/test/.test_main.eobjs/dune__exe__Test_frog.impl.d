@@ -1,0 +1,1 @@
+test/test_frog.ml: Alcotest Array List Printf Rumor_agents Rumor_graph Rumor_prob Rumor_protocols

@@ -1,0 +1,1 @@
+test/test_gen_basic.ml: Alcotest List Printf Rumor_graph

@@ -1,0 +1,1 @@
+test/test_gen_paper.ml: Alcotest Array List Printf Rumor_graph

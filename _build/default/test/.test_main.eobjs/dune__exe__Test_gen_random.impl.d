@@ -1,0 +1,1 @@
+test/test_gen_random.ml: Alcotest Float List Printf QCheck QCheck_alcotest Rumor_graph Rumor_prob

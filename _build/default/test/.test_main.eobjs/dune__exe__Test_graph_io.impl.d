@@ -1,0 +1,1 @@
+test/test_graph_io.ml: Alcotest Filename Fun List Rumor_graph String Sys

@@ -1,0 +1,1 @@
+test/test_graph_spec.ml: Alcotest List Rumor_graph Rumor_prob Rumor_sim String

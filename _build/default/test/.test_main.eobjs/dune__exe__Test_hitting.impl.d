@@ -1,0 +1,1 @@
+test/test_hitting.ml: Alcotest Array Float List Printf Rumor_agents Rumor_graph Rumor_prob

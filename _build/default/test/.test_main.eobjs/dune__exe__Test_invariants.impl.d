@@ -1,0 +1,1 @@
+test/test_invariants.ml: Alcotest Array List QCheck QCheck_alcotest Rumor_graph Rumor_prob Rumor_protocols Rumor_sim

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Float Printf QCheck QCheck_alcotest Rumor_prob

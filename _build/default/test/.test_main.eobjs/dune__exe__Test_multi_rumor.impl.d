@@ -1,0 +1,1 @@
+test/test_multi_rumor.ml: Alcotest Array Float Printf Rumor_agents Rumor_graph Rumor_prob Rumor_protocols

@@ -1,0 +1,1 @@
+test/test_placement.ml: Alcotest Array Float Printf Rumor_agents Rumor_graph Rumor_prob

@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest List Rumor_agents Rumor_graph Rumor_prob Rumor_protocols Rumor_sim

@@ -1,0 +1,1 @@
+test/test_pull.ml: Alcotest Array Printf Rumor_graph Rumor_prob Rumor_protocols

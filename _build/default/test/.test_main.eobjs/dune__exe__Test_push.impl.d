@@ -1,0 +1,1 @@
+test/test_push.ml: Alcotest Array List Printf QCheck QCheck_alcotest Rumor_graph Rumor_prob Rumor_protocols

@@ -1,0 +1,1 @@
+test/test_quasi_push.ml: Alcotest Array List Printf Rumor_graph Rumor_prob Rumor_protocols

@@ -1,0 +1,1 @@
+test/test_regress.ml: Alcotest Array Float Gen QCheck QCheck_alcotest Rumor_prob

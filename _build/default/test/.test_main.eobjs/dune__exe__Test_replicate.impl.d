@@ -1,0 +1,1 @@
+test/test_replicate.ml: Alcotest Array List Rumor_graph Rumor_prob Rumor_protocols Rumor_sim

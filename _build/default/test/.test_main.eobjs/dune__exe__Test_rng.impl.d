@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Float Hashtbl Option Printf Rumor_prob

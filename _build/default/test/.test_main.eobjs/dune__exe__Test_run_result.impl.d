@@ -1,0 +1,1 @@
+test/test_run_result.ml: Alcotest Format Rumor_protocols

@@ -1,0 +1,1 @@
+test/test_sparkline.ml: Alcotest Array Rumor_sim String

@@ -1,0 +1,1 @@
+test/test_spectral.ml: Alcotest Array Float List Printf Rumor_graph

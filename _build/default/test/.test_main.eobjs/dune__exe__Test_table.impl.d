@@ -1,0 +1,1 @@
+test/test_table.ml: Alcotest List Rumor_prob Rumor_sim String

@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Array Rumor_graph Rumor_protocols

@@ -1,0 +1,1 @@
+test/test_walkers.ml: Alcotest Array Float Printf Rumor_agents Rumor_graph Rumor_prob

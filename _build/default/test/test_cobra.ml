@@ -1,0 +1,100 @@
+(* Tests for Rumor_protocols.Cobra. *)
+
+module Rng = Rumor_prob.Rng
+module Gen = Rumor_graph.Gen_basic
+module Cobra = Rumor_protocols.Cobra
+module Run_result = Rumor_protocols.Run_result
+
+let run ?(branching = 2) ?(max_rounds = 1_000_000) seed g source =
+  Cobra.run (Rng.of_int seed) g ~source ~branching ~max_rounds ()
+
+let test_completes () =
+  List.iter
+    (fun (g, s) ->
+      let r = run 421 g s in
+      Alcotest.(check bool) "completed" true (Run_result.completed r.Cobra.run_result))
+    [ (Gen.complete 16, 0); (Gen.cycle 12, 0); (Gen.hypercube ~dim:6, 5); (Gen.torus ~rows:5 ~cols:5, 0) ]
+
+let test_branching_one_is_single_walk () =
+  (* with branching 1 the front never exceeds one pebble *)
+  let g = Gen.cycle 10 in
+  let r = run ~branching:1 422 g 0 in
+  Alcotest.(check int) "front stays 1" 1 r.Cobra.max_front;
+  Alcotest.(check bool) "completed (cover time)" true
+    (Run_result.completed r.Cobra.run_result)
+
+let test_front_grows_with_branching () =
+  let g = Gen.complete 64 in
+  let r2 = run ~branching:2 423 g 0 in
+  Alcotest.(check bool) "front exceeds 1 with branching" true (r2.Cobra.max_front > 1);
+  Alcotest.(check bool) "front bounded by n" true (r2.Cobra.max_front <= 64)
+
+let test_branching_speeds_cover () =
+  (* mean cover time with branching 2 beats a single walk on the cycle *)
+  let g = Gen.cycle 32 in
+  let mean branching =
+    let total = ref 0 in
+    for seed = 0 to 9 do
+      total :=
+        !total + Run_result.time_exn (run ~branching (4240 + seed) g 0).Cobra.run_result
+    done;
+    float_of_int !total /. 10.0
+  in
+  let single = mean 1 and branched = mean 2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "branching 2: %.0f < single walk %.0f" branched single)
+    true (branched < single)
+
+let test_fast_on_expander () =
+  (* [7]: O(log n) cover on regular expanders with branching 2 *)
+  let rng = Rng.of_int 425 in
+  let g = Rumor_graph.Gen_random.random_regular_connected rng ~n:512 ~d:9 in
+  for seed = 0 to 4 do
+    let r = run (4250 + seed) g 0 in
+    Alcotest.(check bool)
+      (Printf.sprintf "cover %d small" (Run_result.time_exn r.Cobra.run_result))
+      true
+      (Run_result.time_exn r.Cobra.run_result <= 60)
+  done
+
+let test_curve_monotone () =
+  let r = run 426 (Gen.torus ~rows:6 ~cols:6) 0 in
+  let curve = r.Cobra.run_result.Run_result.informed_curve in
+  Alcotest.(check int) "starts at 1" 1 curve.(0);
+  for i = 1 to Array.length curve - 1 do
+    if curve.(i) < curve.(i - 1) then Alcotest.fail "curve not monotone"
+  done
+
+let test_contacts_bounded () =
+  (* per round, each front pebble sends exactly [branching] pebbles *)
+  let r = run ~branching:3 427 (Gen.complete 8) 0 in
+  let rounds = r.Cobra.run_result.Run_result.rounds_run in
+  Alcotest.(check bool) "contacts <= 3 * front * rounds" true
+    (r.Cobra.run_result.Run_result.contacts <= 3 * 8 * rounds)
+
+let test_invalid () =
+  (try
+     ignore (run ~branching:0 428 (Gen.complete 3) 0);
+     Alcotest.fail "branching 0 accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (run 429 (Gen.complete 3) 9);
+    Alcotest.fail "bad source accepted"
+  with Invalid_argument _ -> ()
+
+let test_round_cap () =
+  let r = run ~max_rounds:2 430 (Gen.path 50) 0 in
+  Alcotest.(check (option int)) "capped" None r.Cobra.run_result.Run_result.broadcast_time
+
+let suite =
+  [
+    Alcotest.test_case "completes" `Quick test_completes;
+    Alcotest.test_case "branching 1 = single walk" `Quick test_branching_one_is_single_walk;
+    Alcotest.test_case "front grows with branching" `Quick test_front_grows_with_branching;
+    Alcotest.test_case "branching speeds cover" `Quick test_branching_speeds_cover;
+    Alcotest.test_case "fast on expanders" `Quick test_fast_on_expander;
+    Alcotest.test_case "curve monotone" `Quick test_curve_monotone;
+    Alcotest.test_case "contacts bounded" `Quick test_contacts_bounded;
+    Alcotest.test_case "invalid arguments" `Quick test_invalid;
+    Alcotest.test_case "round cap" `Quick test_round_cap;
+  ]

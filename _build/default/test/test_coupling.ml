@@ -1,0 +1,210 @@
+(* Tests for Rumor_protocols.Coupling: the Section 5 proof machinery.
+
+   These tests check the *exact* invariants the paper proves:
+   - Lemma 13: tau_u <= C_u(t_u) for every vertex, on every instance.
+   - Lemma 14: the canonical walk to u has congestion exactly C_u(t_u).
+   The invariants are deterministic consequences of the coupling, so they
+   must hold on every seed, not just with high probability. *)
+
+module Rng = Rumor_prob.Rng
+module Graph = Rumor_graph.Graph
+module Gen = Rumor_graph.Gen_basic
+module Gen_random = Rumor_graph.Gen_random
+module Placement = Rumor_agents.Placement
+module Coupling = Rumor_protocols.Coupling
+
+let couple ?(record_history = false) ?(agents = Placement.Linear 1.0) seed g source =
+  let c = Coupling.create (Rng.of_int seed) g ~source in
+  let o = Coupling.run_visit_exchange ~record_history c ~agents ~max_rounds:100_000 in
+  (c, o)
+
+let test_shared_choice_memoized () =
+  let g = Gen.complete 10 in
+  let c = Coupling.create (Rng.of_int 181) g ~source:0 in
+  for u = 0 to 9 do
+    for i = 0 to 20 do
+      let v1 = Coupling.shared_choice c u i in
+      let v2 = Coupling.shared_choice c u i in
+      Alcotest.(check int) "memoized" v1 v2;
+      Alcotest.(check bool) "is a neighbor" true (Graph.mem_edge g u v1)
+    done
+  done
+
+let test_shared_choice_uniform () =
+  let g = Gen.star ~leaves:4 in
+  let c = Coupling.create (Rng.of_int 182) g ~source:0 in
+  let counts = Array.make 5 0 in
+  for i = 0 to 19_999 do
+    let v = Coupling.shared_choice c 0 i in
+    counts.(v) <- counts.(v) + 1
+  done;
+  for leaf = 1 to 4 do
+    let p = float_of_int counts.(leaf) /. 20_000.0 in
+    if Float.abs (p -. 0.25) > 0.02 then Alcotest.failf "leaf %d rate %.3f" leaf p
+  done
+
+let test_lemma13_on_many_graphs () =
+  (* the Lemma 13 invariant is a deterministic consequence of the coupling
+     construction and needs no regularity, so it must also hold on the
+     paper's highly non-regular separator graphs *)
+  let graphs =
+    [
+      ("complete", Gen.complete 32, 0);
+      ("cycle", Gen.cycle 20, 3);
+      ("torus", Gen.torus ~rows:6 ~cols:6, 0);
+      ("hypercube", Gen.hypercube ~dim:7, 1);
+      ("necklace", Gen.necklace ~cliques:4 ~clique_size:8, 0);
+      ("star", Gen.star ~leaves:24, 0);
+      ( "double star",
+        (Rumor_graph.Gen_paper.double_star ~leaves_per_star:12).Rumor_graph.Gen_paper.ds_graph,
+        2 );
+      ( "heavy tree",
+        (Rumor_graph.Gen_paper.heavy_binary_tree ~levels:5).Rumor_graph.Gen_paper.ht_graph,
+        20 );
+    ]
+  in
+  List.iter
+    (fun (name, g, s) ->
+      for seed = 0 to 4 do
+        let c, o = couple (1830 + seed) g s in
+        if not o.Coupling.completed then Alcotest.failf "%s: visitx did not complete" name;
+        let tau = Coupling.run_push c ~max_rounds:1_000_000 in
+        match Coupling.lemma13_violations ~tau o with
+        | [] -> ()
+        | u :: _ ->
+            Alcotest.failf "%s seed %d: tau_%d = %d > C = %d" name seed u tau.(u)
+              o.Coupling.c_counter.(u)
+      done)
+    graphs
+
+let test_lemma13_on_random_regular () =
+  for seed = 0 to 4 do
+    let rng = Rng.of_int (1840 + seed) in
+    let g = Gen_random.random_regular_connected rng ~n:128 ~d:8 in
+    let c, o = couple (1850 + seed) g 0 in
+    let tau = Coupling.run_push c ~max_rounds:1_000_000 in
+    Alcotest.(check (list int)) "no violations" [] (Coupling.lemma13_violations ~tau o)
+  done
+
+let test_lemma13_one_agent_per_vertex () =
+  (* the paper remarks the coupling result also holds for one-per-vertex
+     starts; the deterministic invariant certainly does *)
+  let g = Gen.hypercube ~dim:6 in
+  let c, o = couple ~agents:Placement.One_per_vertex 186 g 0 in
+  let tau = Coupling.run_push c ~max_rounds:1_000_000 in
+  Alcotest.(check (list int)) "no violations" [] (Coupling.lemma13_violations ~tau o)
+
+let test_lemma14_congestion_equality () =
+  let g = Gen.torus ~rows:6 ~cols:6 in
+  let _, o = couple ~record_history:true 187 g 0 in
+  for u = 0 to Graph.n g - 1 do
+    let walk = Coupling.canonical_walk o u in
+    let q = Coupling.congestion o walk in
+    Alcotest.(check int)
+      (Printf.sprintf "Q(theta_%d) = C_%d(t_%d)" u u u)
+      o.Coupling.c_counter.(u) q
+  done
+
+let test_canonical_walk_structure () =
+  let g = Gen.hypercube ~dim:6 in
+  let _, o = couple ~record_history:true 188 g 5 in
+  for u = 0 to Graph.n g - 1 do
+    let walk = Coupling.canonical_walk o u in
+    Alcotest.(check int) "starts at source" 5 walk.(0);
+    Alcotest.(check int) "ends at u" u walk.(Array.length walk - 1);
+    Alcotest.(check int) "length = t_u + 1" (o.Coupling.vertex_time.(u) + 1)
+      (Array.length walk);
+    for i = 1 to Array.length walk - 1 do
+      let a = walk.(i - 1) and b = walk.(i) in
+      if a <> b && not (Graph.mem_edge g a b) then
+        Alcotest.failf "walk step %d: %d -> %d not an edge" i a b
+    done
+  done
+
+let test_vertex_times_match_plain_visitx_distribution () =
+  (* coupled visit-exchange is the same process as the plain one; sanity
+     check that broadcast completion and source time agree *)
+  let g = Gen.complete 20 in
+  let _, o = couple 189 g 0 in
+  Alcotest.(check int) "source at 0" 0 o.Coupling.vertex_time.(0);
+  Alcotest.(check bool) "completed" true o.Coupling.completed;
+  Array.iter
+    (fun t -> if t = max_int then Alcotest.fail "vertex left uninformed")
+    o.Coupling.vertex_time
+
+let test_run_visit_exchange_twice_rejected () =
+  let g = Gen.complete 5 in
+  let c = Coupling.create (Rng.of_int 190) g ~source:0 in
+  let (_ : Coupling.visitx_outcome) =
+    Coupling.run_visit_exchange c ~agents:(Placement.Linear 1.0) ~max_rounds:1000
+  in
+  try
+    ignore (Coupling.run_visit_exchange c ~agents:(Placement.Linear 1.0) ~max_rounds:1000);
+    Alcotest.fail "second run accepted"
+  with Invalid_argument _ -> ()
+
+let test_congestion_requires_history () =
+  let g = Gen.complete 5 in
+  let _, o = couple 191 g 0 in
+  try
+    ignore (Coupling.congestion o [| 0; 1 |]);
+    Alcotest.fail "missing history accepted"
+  with Invalid_argument _ -> ()
+
+let test_canonical_walk_uninformed_rejected () =
+  (* cap the run so that some vertex stays uninformed *)
+  let g = Gen.path 50 in
+  let c = Coupling.create (Rng.of_int 192) g ~source:0 in
+  let o =
+    Coupling.run_visit_exchange c ~agents:(Placement.Stationary 2) ~max_rounds:1
+  in
+  let u = 49 in
+  Alcotest.(check bool) "end of path uninformed" true (o.Coupling.vertex_time.(u) = max_int);
+  try
+    ignore (Coupling.canonical_walk o u);
+    Alcotest.fail "uninformed vertex accepted"
+  with Invalid_argument _ -> ()
+
+let test_max_neighborhood_load_positive () =
+  let g = Gen.complete 16 in
+  let _, o = couple ~record_history:true 193 g 0 in
+  let load = Coupling.max_neighborhood_load o g in
+  (* with alpha = 1 there are n agents, every vertex neighborhood holds most
+     of them on the complete graph *)
+  Alcotest.(check bool) "load positive" true (load > 0);
+  Alcotest.(check bool) "load bounded by agents" true (load <= 16)
+
+let prop_lemma13_universal =
+  QCheck.Test.make ~count:10 ~name:"lemma 13 holds on random instances"
+    QCheck.(pair (int_range 8 40) (int_range 0 1000))
+    (fun (half, seed) ->
+      let n = 2 * half in
+      let rng = Rng.of_int ((n * 53) + seed) in
+      let g = Gen_random.random_regular_connected rng ~n ~d:4 in
+      let c = Coupling.create rng g ~source:0 in
+      let o =
+        Coupling.run_visit_exchange c ~agents:(Placement.Linear 1.0)
+          ~max_rounds:100_000
+      in
+      let tau = Coupling.run_push c ~max_rounds:1_000_000 in
+      Coupling.lemma13_violations ~tau o = [])
+
+let suite =
+  [
+    Alcotest.test_case "shared choices memoized" `Quick test_shared_choice_memoized;
+    Alcotest.test_case "shared choices uniform" `Quick test_shared_choice_uniform;
+    Alcotest.test_case "lemma 13 on standard graphs" `Quick test_lemma13_on_many_graphs;
+    Alcotest.test_case "lemma 13 on random regular" `Quick test_lemma13_on_random_regular;
+    Alcotest.test_case "lemma 13 one-per-vertex" `Quick test_lemma13_one_agent_per_vertex;
+    Alcotest.test_case "lemma 14 congestion equality" `Quick test_lemma14_congestion_equality;
+    Alcotest.test_case "canonical walk structure" `Quick test_canonical_walk_structure;
+    Alcotest.test_case "coupled run matches plain process" `Quick
+      test_vertex_times_match_plain_visitx_distribution;
+    Alcotest.test_case "second visitx run rejected" `Quick
+      test_run_visit_exchange_twice_rejected;
+    Alcotest.test_case "congestion requires history" `Quick test_congestion_requires_history;
+    Alcotest.test_case "canonical walk needs informed vertex" `Quick
+      test_canonical_walk_uninformed_rejected;
+    Alcotest.test_case "max neighborhood load" `Quick test_max_neighborhood_load_positive;
+    QCheck_alcotest.to_alcotest prop_lemma13_universal;
+  ]

@@ -1,0 +1,180 @@
+(* Tests for Rumor_prob.Dist: samplers against closed-form moments. *)
+
+module Rng = Rumor_prob.Rng
+module Dist = Rumor_prob.Dist
+
+let sample_mean_var n f =
+  let stats = Rumor_prob.Stats.create () in
+  for _ = 1 to n do
+    Rumor_prob.Stats.add stats (f ())
+  done;
+  (Rumor_prob.Stats.mean stats, Rumor_prob.Stats.variance stats)
+
+let check_close label expected actual tolerance =
+  if Float.abs (expected -. actual) > tolerance then
+    Alcotest.failf "%s: expected %.4f got %.4f (tol %.4f)" label expected actual
+      tolerance
+
+let test_binomial_moments () =
+  let g = Rng.of_int 21 in
+  List.iter
+    (fun (n, p) ->
+      let mean, var =
+        sample_mean_var 40_000 (fun () -> float_of_int (Dist.binomial g n p))
+      in
+      let em = Dist.binomial_mean n p and ev = Dist.binomial_variance n p in
+      check_close (Printf.sprintf "Bin(%d,%.2f) mean" n p) em mean (0.05 *. em +. 0.05);
+      check_close (Printf.sprintf "Bin(%d,%.2f) var" n p) ev var (0.1 *. ev +. 0.1))
+    [ (10, 0.5); (100, 0.1); (100, 0.9); (1000, 0.01); (33, 0.3) ]
+
+let test_binomial_support () =
+  let g = Rng.of_int 22 in
+  for _ = 1 to 1000 do
+    let x = Dist.binomial g 20 0.4 in
+    if x < 0 || x > 20 then Alcotest.failf "binomial out of support: %d" x
+  done
+
+let test_binomial_extremes () =
+  let g = Rng.of_int 23 in
+  Alcotest.(check int) "p=0" 0 (Dist.binomial g 100 0.0);
+  Alcotest.(check int) "p=1" 100 (Dist.binomial g 100 1.0);
+  Alcotest.(check int) "n=0" 0 (Dist.binomial g 0 0.7)
+
+let test_binomial_invalid () =
+  let g = Rng.of_int 24 in
+  Alcotest.check_raises "n<0" (Invalid_argument "Dist.binomial: n < 0") (fun () ->
+      ignore (Dist.binomial g (-1) 0.5));
+  (try
+     ignore (Dist.binomial g 10 1.5);
+     Alcotest.fail "p>1 accepted"
+   with Invalid_argument _ -> ())
+
+let test_geometric_moments () =
+  let g = Rng.of_int 25 in
+  List.iter
+    (fun p ->
+      let mean, var =
+        sample_mean_var 40_000 (fun () -> float_of_int (Dist.geometric g p))
+      in
+      check_close
+        (Printf.sprintf "Geom(%.2f) mean" p)
+        (Dist.geometric_mean p) mean
+        (0.05 *. Dist.geometric_mean p);
+      check_close
+        (Printf.sprintf "Geom(%.2f) var" p)
+        (Dist.geometric_variance p) var
+        (0.15 *. (Dist.geometric_variance p +. 1.0)))
+    [ 0.1; 0.3; 0.7 ]
+
+let test_geometric_support () =
+  let g = Rng.of_int 26 in
+  Alcotest.(check int) "p=1 is always 1" 1 (Dist.geometric g 1.0);
+  for _ = 1 to 1000 do
+    if Dist.geometric g 0.2 < 1 then Alcotest.fail "geometric below 1"
+  done
+
+let test_geometric_invalid () =
+  let g = Rng.of_int 27 in
+  try
+    ignore (Dist.geometric g 0.0);
+    Alcotest.fail "p=0 accepted"
+  with Invalid_argument _ -> ()
+
+let test_poisson_moments () =
+  let g = Rng.of_int 28 in
+  (* includes lambda over the recursion threshold of 30 *)
+  List.iter
+    (fun lambda ->
+      let mean, var =
+        sample_mean_var 40_000 (fun () -> float_of_int (Dist.poisson g lambda))
+      in
+      check_close (Printf.sprintf "Poisson(%.1f) mean" lambda) lambda mean
+        (0.05 *. lambda +. 0.05);
+      check_close (Printf.sprintf "Poisson(%.1f) var" lambda) lambda var
+        (0.12 *. lambda +. 0.1))
+    [ 0.5; 4.0; 25.0; 80.0 ]
+
+let test_poisson_zero () =
+  let g = Rng.of_int 29 in
+  Alcotest.(check int) "lambda=0" 0 (Dist.poisson g 0.0)
+
+let test_exponential_mean () =
+  let g = Rng.of_int 30 in
+  let mean, _ = sample_mean_var 40_000 (fun () -> Dist.exponential g 2.0) in
+  check_close "Exp(2) mean" 0.5 mean 0.02
+
+let test_exponential_invalid () =
+  let g = Rng.of_int 31 in
+  try
+    ignore (Dist.exponential g 0.0);
+    Alcotest.fail "rate 0 accepted"
+  with Invalid_argument _ -> ()
+
+let test_categorical_frequencies () =
+  let g = Rng.of_int 32 in
+  let w = [| 1.0; 2.0; 7.0 |] in
+  let counts = Array.make 3 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let i = Dist.categorical g w in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = w.(i) /. 10.0 in
+      let actual = float_of_int c /. float_of_int n in
+      check_close (Printf.sprintf "category %d" i) expected actual 0.01)
+    counts
+
+let test_categorical_invalid () =
+  let g = Rng.of_int 33 in
+  (try
+     ignore (Dist.categorical g [||]);
+     Alcotest.fail "empty weights accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Dist.categorical g [| 0.0; 0.0 |]);
+    Alcotest.fail "zero weights accepted"
+  with Invalid_argument _ -> ()
+
+let test_categorical_point_mass () =
+  let g = Rng.of_int 34 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "all mass on index 1" 1 (Dist.categorical g [| 0.0; 5.0; 0.0 |])
+  done
+
+(* qcheck: binomial is symmetric under p <-> 1-p in distribution; check the
+   means of coupled samples rather than exact symmetry. *)
+let prop_binomial_complement =
+  QCheck.Test.make ~count:30 ~name:"binomial complement mean"
+    QCheck.(pair (int_range 1 200) (float_range 0.05 0.95))
+    (fun (n, p) ->
+      let g = Rng.of_int (n + int_of_float (p *. 1000.0)) in
+      let reps = 3000 in
+      let s1 = ref 0 and s2 = ref 0 in
+      for _ = 1 to reps do
+        s1 := !s1 + Dist.binomial g n p;
+        s2 := !s2 + Dist.binomial g n (1.0 -. p)
+      done;
+      let m1 = float_of_int !s1 /. float_of_int reps in
+      let m2 = float_of_int !s2 /. float_of_int reps in
+      Float.abs (m1 +. m2 -. float_of_int n) < 0.2 *. float_of_int n +. 2.0)
+
+let suite =
+  [
+    Alcotest.test_case "binomial moments" `Quick test_binomial_moments;
+    Alcotest.test_case "binomial support" `Quick test_binomial_support;
+    Alcotest.test_case "binomial extremes" `Quick test_binomial_extremes;
+    Alcotest.test_case "binomial invalid args" `Quick test_binomial_invalid;
+    Alcotest.test_case "geometric moments" `Quick test_geometric_moments;
+    Alcotest.test_case "geometric support" `Quick test_geometric_support;
+    Alcotest.test_case "geometric invalid args" `Quick test_geometric_invalid;
+    Alcotest.test_case "poisson moments" `Quick test_poisson_moments;
+    Alcotest.test_case "poisson zero" `Quick test_poisson_zero;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "exponential invalid args" `Quick test_exponential_invalid;
+    Alcotest.test_case "categorical frequencies" `Quick test_categorical_frequencies;
+    Alcotest.test_case "categorical invalid args" `Quick test_categorical_invalid;
+    Alcotest.test_case "categorical point mass" `Quick test_categorical_point_mass;
+    QCheck_alcotest.to_alcotest prop_binomial_complement;
+  ]

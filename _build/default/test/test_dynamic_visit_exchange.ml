@@ -1,0 +1,127 @@
+(* Tests for Rumor_protocols.Dynamic_visit_exchange. *)
+
+module Rng = Rumor_prob.Rng
+module Gen = Rumor_graph.Gen_basic
+module Placement = Rumor_agents.Placement
+module Dvx = Rumor_protocols.Dynamic_visit_exchange
+module Run_result = Rumor_protocols.Run_result
+
+let run ?(churn = 0.05) ?(replace = true) ?(agents = Placement.Linear 1.0)
+    ?(max_rounds = 1_000_000) seed g source =
+  Dvx.run (Rng.of_int seed) g ~source ~agents ~churn ~replace ~max_rounds ()
+
+let test_zero_churn_is_plain_visitx () =
+  (* with churn = 0 the process must complete with no births or deaths *)
+  let g = Gen.complete 32 in
+  let o = run ~churn:0.0 321 g 0 in
+  Alcotest.(check bool) "completed" true (Run_result.completed o.Dvx.result);
+  Alcotest.(check int) "no births" 0 o.Dvx.births;
+  Alcotest.(check int) "no deaths" 0 o.Dvx.deaths;
+  Alcotest.(check int) "population preserved" 32 o.Dvx.final_population;
+  Alcotest.(check bool) "not extinct" false o.Dvx.extinct
+
+let test_completes_under_churn_with_replacement () =
+  List.iter
+    (fun churn ->
+      let g = Gen.complete 64 in
+      let o = run ~churn 322 g 0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "completed at churn %.2f" churn)
+        true
+        (Run_result.completed o.Dvx.result))
+    [ 0.01; 0.1; 0.3 ]
+
+let test_births_and_deaths_balance () =
+  let g = Gen.complete 64 in
+  let o = run ~churn:0.2 323 g 0 in
+  Alcotest.(check bool) "deaths occurred" true (o.Dvx.deaths > 0);
+  Alcotest.(check bool) "births occurred" true (o.Dvx.births > 0);
+  (* replacement keeps the population near its initial size *)
+  Alcotest.(check bool)
+    (Printf.sprintf "population %d near 64" o.Dvx.final_population)
+    true
+    (o.Dvx.final_population > 20 && o.Dvx.final_population < 200)
+
+let test_extinction_without_replacement () =
+  (* heavy churn with no replacement on a slow graph: the population dies
+     out before covering the long path *)
+  let g = Gen.path 300 in
+  let o =
+    run ~churn:0.5 ~replace:false ~agents:(Placement.Stationary 8) 324 g 0
+  in
+  Alcotest.(check bool) "did not complete" false (Run_result.completed o.Dvx.result);
+  Alcotest.(check bool) "extinct" true o.Dvx.extinct;
+  Alcotest.(check int) "no survivors" 0 o.Dvx.final_population;
+  Alcotest.(check int) "no births" 0 o.Dvx.births
+
+let test_no_replacement_can_still_complete_fast_graphs () =
+  (* mild churn on a clique: broadcast happens before the population dies *)
+  let g = Gen.complete 64 in
+  let o = run ~churn:0.02 ~replace:false 325 g 0 in
+  Alcotest.(check bool) "completed" true (Run_result.completed o.Dvx.result)
+
+let test_invalid_args () =
+  let g = Gen.complete 4 in
+  (try
+     ignore (run ~churn:1.0 326 g 0);
+     Alcotest.fail "churn 1 accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (run ~churn:(-0.1) 327 g 0);
+     Alcotest.fail "negative churn accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (run 328 g 7);
+    Alcotest.fail "bad source accepted"
+  with Invalid_argument _ -> ()
+
+let test_curve_monotone () =
+  let g = Gen.torus ~rows:5 ~cols:5 in
+  let o = run ~churn:0.1 329 g 0 in
+  let curve = o.Dvx.result.Run_result.informed_curve in
+  for i = 1 to Array.length curve - 1 do
+    if curve.(i) < curve.(i - 1) then Alcotest.fail "curve not monotone"
+  done
+
+let test_deterministic_by_seed () =
+  let g = Gen.complete 32 in
+  let o1 = run 330 g 0 and o2 = run 330 g 0 in
+  Alcotest.(check (option int)) "same broadcast" o1.Dvx.result.Run_result.broadcast_time
+    o2.Dvx.result.Run_result.broadcast_time;
+  Alcotest.(check int) "same deaths" o1.Dvx.deaths o2.Dvx.deaths
+
+let test_churn_slows_but_tolerates () =
+  (* fault-tolerance claim: moderate churn should not blow up the broadcast
+     time by more than a small factor on a well-connected graph *)
+  let rng = Rng.of_int 331 in
+  let g = Rumor_graph.Gen_random.random_regular_connected rng ~n:256 ~d:8 in
+  let mean churn =
+    let total = ref 0 in
+    for seed = 0 to 9 do
+      let o = run ~churn (3320 + seed) g 0 in
+      total := !total + Run_result.time_exn o.Dvx.result
+    done;
+    float_of_int !total /. 10.0
+  in
+  let t0 = mean 0.0 and t_churn = mean 0.2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "churn 0.2: %.1f vs %.1f within 3x" t_churn t0)
+    true
+    (t_churn < 3.0 *. t0 +. 10.0)
+
+let suite =
+  [
+    Alcotest.test_case "zero churn is plain visit-exchange" `Quick
+      test_zero_churn_is_plain_visitx;
+    Alcotest.test_case "completes under churn with replacement" `Quick
+      test_completes_under_churn_with_replacement;
+    Alcotest.test_case "births and deaths balance" `Quick test_births_and_deaths_balance;
+    Alcotest.test_case "extinction without replacement" `Quick
+      test_extinction_without_replacement;
+    Alcotest.test_case "mild loss still completes" `Quick
+      test_no_replacement_can_still_complete_fast_graphs;
+    Alcotest.test_case "invalid arguments" `Quick test_invalid_args;
+    Alcotest.test_case "curve monotone" `Quick test_curve_monotone;
+    Alcotest.test_case "deterministic by seed" `Quick test_deterministic_by_seed;
+    Alcotest.test_case "churn tolerated" `Quick test_churn_slows_but_tolerates;
+  ]

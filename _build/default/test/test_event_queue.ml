@@ -1,0 +1,96 @@
+(* Tests for Rumor_des.Event_queue. *)
+
+module Q = Rumor_des.Event_queue
+
+let test_empty () =
+  let q : int Q.t = Q.create () in
+  Alcotest.(check bool) "empty" true (Q.is_empty q);
+  Alcotest.(check int) "size 0" 0 (Q.size q);
+  Alcotest.(check bool) "pop none" true (Q.pop q = None);
+  Alcotest.(check bool) "peek none" true (Q.peek_time q = None)
+
+let test_ordering () =
+  let q = Q.create () in
+  Q.push q 3.0 "c";
+  Q.push q 1.0 "a";
+  Q.push q 2.0 "b";
+  Alcotest.(check (option (float 1e-9))) "peek earliest" (Some 1.0) (Q.peek_time q);
+  let order = List.init 3 (fun _ -> match Q.pop q with Some (_, x) -> x | None -> "?") in
+  Alcotest.(check (list string)) "sorted by time" [ "a"; "b"; "c" ] order
+
+let test_fifo_ties () =
+  let q = Q.create () in
+  Q.push q 1.0 "first";
+  Q.push q 1.0 "second";
+  Q.push q 1.0 "third";
+  let order = List.init 3 (fun _ -> match Q.pop q with Some (_, x) -> x | None -> "?") in
+  Alcotest.(check (list string)) "insertion order on ties" [ "first"; "second"; "third" ]
+    order
+
+let test_interleaved_push_pop () =
+  let q = Q.create () in
+  Q.push q 5.0 5;
+  Q.push q 1.0 1;
+  (match Q.pop q with
+  | Some (t, 1) -> Alcotest.(check (float 1e-9)) "time" 1.0 t
+  | _ -> Alcotest.fail "wrong event");
+  Q.push q 3.0 3;
+  Q.push q 0.5 0;
+  let rest = List.init 3 (fun _ -> match Q.pop q with Some (_, x) -> x | None -> -1) in
+  Alcotest.(check (list int)) "remaining order" [ 0; 3; 5 ] rest
+
+let test_heap_property_random () =
+  let rng = Rumor_prob.Rng.of_int 301 in
+  let q = Q.create () in
+  for _ = 1 to 1000 do
+    Q.push q (Rumor_prob.Rng.float rng 100.0) ()
+  done;
+  Alcotest.(check int) "size" 1000 (Q.size q);
+  let last = ref neg_infinity in
+  for _ = 1 to 1000 do
+    match Q.pop q with
+    | None -> Alcotest.fail "queue drained early"
+    | Some (t, ()) ->
+        if t < !last then Alcotest.failf "out of order: %f after %f" t !last;
+        last := t
+  done;
+  Alcotest.(check bool) "drained" true (Q.is_empty q)
+
+let test_nan_rejected () =
+  let q = Q.create () in
+  try
+    Q.push q Float.nan ();
+    Alcotest.fail "NaN accepted"
+  with Invalid_argument _ -> ()
+
+let test_clear () =
+  let q = Q.create () in
+  Q.push q 1.0 ();
+  Q.push q 2.0 ();
+  Q.clear q;
+  Alcotest.(check bool) "cleared" true (Q.is_empty q);
+  Q.push q 3.0 ();
+  Alcotest.(check (option (float 1e-9))) "usable after clear" (Some 3.0) (Q.peek_time q)
+
+let prop_dequeues_sorted =
+  QCheck.Test.make ~count:100 ~name:"event queue dequeues in sorted order"
+    QCheck.(list (float_bound_inclusive 1000.0))
+    (fun times ->
+      let q = Q.create () in
+      List.iter (fun t -> Q.push q t ()) times;
+      let out = List.init (List.length times) (fun _ ->
+          match Q.pop q with Some (t, ()) -> t | None -> nan)
+      in
+      out = List.sort compare out)
+
+let suite =
+  [
+    Alcotest.test_case "empty queue" `Quick test_empty;
+    Alcotest.test_case "ordering" `Quick test_ordering;
+    Alcotest.test_case "FIFO on ties" `Quick test_fifo_ties;
+    Alcotest.test_case "interleaved push/pop" `Quick test_interleaved_push_pop;
+    Alcotest.test_case "random heap property" `Quick test_heap_property_random;
+    Alcotest.test_case "NaN rejected" `Quick test_nan_rejected;
+    Alcotest.test_case "clear" `Quick test_clear;
+    QCheck_alcotest.to_alcotest prop_dequeues_sorted;
+  ]

@@ -1,0 +1,65 @@
+(* Tests for Rumor_protocols.Flood. *)
+
+module Graph = Rumor_graph.Graph
+module Gen = Rumor_graph.Gen_basic
+module Algo = Rumor_graph.Algo
+module Flood = Rumor_protocols.Flood
+module Run_result = Rumor_protocols.Run_result
+
+let test_time_is_exactly_eccentricity () =
+  List.iter
+    (fun (g, s) ->
+      let r = Flood.run g ~source:s ~max_rounds:1_000_000 () in
+      Alcotest.(check (option int)) "time = ecc" (Some (Algo.eccentricity g s))
+        r.Run_result.broadcast_time)
+    [
+      (Gen.path 17, 0);
+      (Gen.path 17, 8);
+      (Gen.cycle 12, 3);
+      (Gen.complete 9, 0);
+      (Gen.torus ~rows:5 ~cols:7, 0);
+      (Gen.star ~leaves:6, 2);
+      (Gen.complete_binary_tree ~levels:5, 0);
+    ]
+
+let test_contacts_bounded_by_2m () =
+  let g = Gen.torus ~rows:6 ~cols:6 in
+  let r = Flood.run g ~source:0 ~max_rounds:1_000_000 () in
+  Alcotest.(check bool) "contacts <= 2m" true
+    (r.Run_result.contacts <= 2 * Graph.num_edges g)
+
+let test_curve_matches_bfs_ball_sizes () =
+  let g = Gen.hypercube ~dim:5 in
+  let r = Flood.run g ~source:0 ~max_rounds:1_000_000 () in
+  let dist = Algo.bfs_distances g 0 in
+  Array.iteri
+    (fun t expected_count ->
+      let ball = Array.fold_left (fun acc d -> if d <= t then acc + 1 else acc) 0 dist in
+      Alcotest.(check int) (Printf.sprintf "ball size at round %d" t) ball expected_count)
+    r.Run_result.informed_curve
+
+let test_deterministic () =
+  let g = Gen.torus ~rows:4 ~cols:4 in
+  let r1 = Flood.run g ~source:5 ~max_rounds:100 () in
+  let r2 = Flood.run g ~source:5 ~max_rounds:100 () in
+  Alcotest.(check int) "same contacts" r1.Run_result.contacts r2.Run_result.contacts
+
+let test_round_cap () =
+  let r = Flood.run (Gen.path 50) ~source:0 ~max_rounds:3 () in
+  Alcotest.(check (option int)) "capped" None r.Run_result.broadcast_time
+
+let test_bad_source () =
+  try
+    ignore (Flood.run (Gen.path 3) ~source:4 ~max_rounds:10 ());
+    Alcotest.fail "bad source accepted"
+  with Invalid_argument _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "time = eccentricity" `Quick test_time_is_exactly_eccentricity;
+    Alcotest.test_case "contacts <= 2m" `Quick test_contacts_bounded_by_2m;
+    Alcotest.test_case "curve = BFS ball sizes" `Quick test_curve_matches_bfs_ball_sizes;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "round cap" `Quick test_round_cap;
+    Alcotest.test_case "bad source" `Quick test_bad_source;
+  ]

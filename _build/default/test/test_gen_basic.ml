@@ -1,0 +1,179 @@
+(* Tests for Rumor_graph.Gen_basic: structural properties of each family. *)
+
+module Graph = Rumor_graph.Graph
+module Gen = Rumor_graph.Gen_basic
+module Algo = Rumor_graph.Algo
+
+let check_valid_connected g =
+  Graph.validate g;
+  Alcotest.(check bool) "connected" true (Algo.is_connected g)
+
+let test_complete () =
+  let g = Gen.complete 6 in
+  check_valid_connected g;
+  Alcotest.(check int) "edges" 15 (Graph.num_edges g);
+  Alcotest.(check (option int)) "regular n-1" (Some 5) (Graph.regular_degree g);
+  Alcotest.(check int) "diameter" 1 (Algo.diameter g)
+
+let test_complete_k1 () =
+  let g = Gen.complete 1 in
+  Alcotest.(check int) "K1 edges" 0 (Graph.num_edges g)
+
+let test_path () =
+  let g = Gen.path 7 in
+  check_valid_connected g;
+  Alcotest.(check int) "edges" 6 (Graph.num_edges g);
+  Alcotest.(check int) "diameter" 6 (Algo.diameter g);
+  Alcotest.(check int) "endpoint degree" 1 (Graph.degree g 0);
+  Alcotest.(check int) "inner degree" 2 (Graph.degree g 3);
+  Alcotest.(check bool) "bipartite" true (Algo.is_bipartite g)
+
+let test_cycle () =
+  let even = Gen.cycle 8 in
+  check_valid_connected even;
+  Alcotest.(check int) "edges" 8 (Graph.num_edges even);
+  Alcotest.(check (option int)) "2-regular" (Some 2) (Graph.regular_degree even);
+  Alcotest.(check int) "diameter" 4 (Algo.diameter even);
+  Alcotest.(check bool) "even cycle bipartite" true (Algo.is_bipartite even);
+  let odd = Gen.cycle 7 in
+  Alcotest.(check bool) "odd cycle not bipartite" false (Algo.is_bipartite odd)
+
+let test_cycle_too_small () =
+  try
+    ignore (Gen.cycle 2);
+    Alcotest.fail "2-cycle accepted"
+  with Invalid_argument _ -> ()
+
+let test_star () =
+  let g = Gen.star ~leaves:10 in
+  check_valid_connected g;
+  Alcotest.(check int) "n" 11 (Graph.n g);
+  Alcotest.(check int) "center degree" 10 (Graph.degree g 0);
+  Alcotest.(check int) "leaf degree" 1 (Graph.degree g 5);
+  Alcotest.(check bool) "bipartite" true (Algo.is_bipartite g);
+  Alcotest.(check int) "diameter" 2 (Algo.diameter g)
+
+let test_complete_binary_tree () =
+  let g = Gen.complete_binary_tree ~levels:4 in
+  check_valid_connected g;
+  Alcotest.(check int) "n = 2^4 - 1" 15 (Graph.n g);
+  Alcotest.(check int) "edges = n - 1" 14 (Graph.num_edges g);
+  Alcotest.(check int) "root degree" 2 (Graph.degree g 0);
+  Alcotest.(check int) "leaf degree" 1 (Graph.degree g 14);
+  Alcotest.(check int) "internal degree" 3 (Graph.degree g 3);
+  Alcotest.(check bool) "tree is bipartite" true (Algo.is_bipartite g)
+
+let test_grid () =
+  let g = Gen.grid ~rows:3 ~cols:4 in
+  check_valid_connected g;
+  Alcotest.(check int) "n" 12 (Graph.n g);
+  (* edges: rows*(cols-1) + cols*(rows-1) = 9 + 8 = 17 *)
+  Alcotest.(check int) "edges" 17 (Graph.num_edges g);
+  Alcotest.(check int) "corner degree" 2 (Graph.degree g 0);
+  Alcotest.(check int) "diameter" 5 (Algo.diameter g);
+  Alcotest.(check bool) "grid is bipartite" true (Algo.is_bipartite g)
+
+let test_torus () =
+  let g = Gen.torus ~rows:4 ~cols:5 in
+  check_valid_connected g;
+  Alcotest.(check int) "n" 20 (Graph.n g);
+  Alcotest.(check (option int)) "4-regular" (Some 4) (Graph.regular_degree g);
+  Alcotest.(check int) "edges = 2n" 40 (Graph.num_edges g)
+
+let test_torus_3x3 () =
+  (* wrap edges must not collide with grid edges *)
+  let g = Gen.torus ~rows:3 ~cols:3 in
+  Graph.validate g;
+  Alcotest.(check (option int)) "4-regular" (Some 4) (Graph.regular_degree g)
+
+let test_hypercube () =
+  let g = Gen.hypercube ~dim:6 in
+  check_valid_connected g;
+  Alcotest.(check int) "n = 64" 64 (Graph.n g);
+  Alcotest.(check (option int)) "6-regular" (Some 6) (Graph.regular_degree g);
+  Alcotest.(check int) "edges = n d / 2" 192 (Graph.num_edges g);
+  Alcotest.(check int) "diameter = dim" 6 (Algo.diameter g);
+  Alcotest.(check bool) "bipartite" true (Algo.is_bipartite g);
+  (* neighbors differ in exactly one bit *)
+  Graph.iter_edges g (fun u v ->
+      let x = u lxor v in
+      if x land (x - 1) <> 0 then Alcotest.failf "edge (%d,%d) differs in >1 bit" u v)
+
+let test_necklace () =
+  let g = Gen.necklace ~cliques:5 ~clique_size:6 in
+  check_valid_connected g;
+  Alcotest.(check int) "n" 30 (Graph.n g);
+  Alcotest.(check (option int)) "(s-1)-regular" (Some 5) (Graph.regular_degree g);
+  (* diameter grows linearly in the number of cliques *)
+  Alcotest.(check bool) "long diameter" true (Algo.diameter g >= 5)
+
+let test_necklace_regular_for_many_sizes () =
+  List.iter
+    (fun (c, s) ->
+      let g = Gen.necklace ~cliques:c ~clique_size:s in
+      Graph.validate g;
+      Alcotest.(check (option int))
+        (Printf.sprintf "necklace %dx%d regular" c s)
+        (Some (s - 1))
+        (Graph.regular_degree g);
+      Alcotest.(check bool) "connected" true (Algo.is_connected g))
+    [ (3, 4); (4, 5); (10, 8); (16, 16) ]
+
+let test_barbell () =
+  let g = Gen.barbell ~clique_size:5 ~bridge_len:3 in
+  check_valid_connected g;
+  Alcotest.(check int) "n" 13 (Graph.n g);
+  (* 2 * C(5,2) + 4 bridge edges *)
+  Alcotest.(check int) "edges" 24 (Graph.num_edges g)
+
+let test_barbell_zero_bridge () =
+  let g = Gen.barbell ~clique_size:4 ~bridge_len:0 in
+  check_valid_connected g;
+  Alcotest.(check int) "n" 8 (Graph.n g);
+  Alcotest.(check int) "edges" 13 (Graph.num_edges g)
+
+let test_lollipop () =
+  let g = Gen.lollipop ~clique_size:5 ~tail_len:4 in
+  check_valid_connected g;
+  Alcotest.(check int) "n" 9 (Graph.n g);
+  Alcotest.(check int) "edges" 14 (Graph.num_edges g);
+  Alcotest.(check int) "tail end degree" 1 (Graph.degree g 8)
+
+let test_invalid_sizes () =
+  let expect_invalid name f =
+    try
+      ignore (f ());
+      Alcotest.failf "%s accepted" name
+    with Invalid_argument _ -> ()
+  in
+  expect_invalid "complete 0" (fun () -> Gen.complete 0);
+  expect_invalid "path 0" (fun () -> Gen.path 0);
+  expect_invalid "star 0" (fun () -> Gen.star ~leaves:0);
+  expect_invalid "tree levels 0" (fun () -> Gen.complete_binary_tree ~levels:0);
+  expect_invalid "grid 0 rows" (fun () -> Gen.grid ~rows:0 ~cols:3);
+  expect_invalid "torus 2 rows" (fun () -> Gen.torus ~rows:2 ~cols:5);
+  expect_invalid "hypercube dim 0" (fun () -> Gen.hypercube ~dim:0);
+  expect_invalid "necklace 2 cliques" (fun () -> Gen.necklace ~cliques:2 ~clique_size:5);
+  expect_invalid "necklace tiny cliques" (fun () -> Gen.necklace ~cliques:4 ~clique_size:3);
+  expect_invalid "lollipop no tail" (fun () -> Gen.lollipop ~clique_size:4 ~tail_len:0)
+
+let suite =
+  [
+    Alcotest.test_case "complete graph" `Quick test_complete;
+    Alcotest.test_case "complete K1" `Quick test_complete_k1;
+    Alcotest.test_case "path" `Quick test_path;
+    Alcotest.test_case "cycle" `Quick test_cycle;
+    Alcotest.test_case "cycle too small" `Quick test_cycle_too_small;
+    Alcotest.test_case "star" `Quick test_star;
+    Alcotest.test_case "complete binary tree" `Quick test_complete_binary_tree;
+    Alcotest.test_case "grid" `Quick test_grid;
+    Alcotest.test_case "torus" `Quick test_torus;
+    Alcotest.test_case "torus 3x3" `Quick test_torus_3x3;
+    Alcotest.test_case "hypercube" `Quick test_hypercube;
+    Alcotest.test_case "necklace" `Quick test_necklace;
+    Alcotest.test_case "necklace regularity sweep" `Quick test_necklace_regular_for_many_sizes;
+    Alcotest.test_case "barbell" `Quick test_barbell;
+    Alcotest.test_case "barbell, zero bridge" `Quick test_barbell_zero_bridge;
+    Alcotest.test_case "lollipop" `Quick test_lollipop;
+    Alcotest.test_case "invalid sizes" `Quick test_invalid_sizes;
+  ]

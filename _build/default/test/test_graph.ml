@@ -1,0 +1,169 @@
+(* Tests for Rumor_graph.Graph: CSR construction and accessors. *)
+
+module Rng = Rumor_prob.Rng
+module Graph = Rumor_graph.Graph
+
+let triangle () = Graph.of_edges ~n:3 [ (0, 1); (1, 2); (0, 2) ]
+
+let test_counts () =
+  let g = triangle () in
+  Alcotest.(check int) "n" 3 (Graph.n g);
+  Alcotest.(check int) "m" 3 (Graph.num_edges g);
+  Alcotest.(check int) "total degree" 6 (Graph.total_degree g);
+  Alcotest.(check int) "arc count" 6 (Graph.arc_count g)
+
+let test_degrees_and_neighbors () =
+  let g = Graph.of_edges ~n:4 [ (0, 1); (0, 2); (0, 3) ] in
+  Alcotest.(check int) "hub degree" 3 (Graph.degree g 0);
+  Alcotest.(check int) "leaf degree" 1 (Graph.degree g 2);
+  Alcotest.(check (list int)) "sorted neighbors" [ 1; 2; 3 ]
+    (List.init (Graph.degree g 0) (Graph.neighbor g 0));
+  Alcotest.(check int) "leaf neighbor" 0 (Graph.neighbor g 3 0)
+
+let test_mem_edge () =
+  let g = Graph.of_edges ~n:5 [ (0, 1); (1, 2); (3, 4) ] in
+  Alcotest.(check bool) "present" true (Graph.mem_edge g 1 2);
+  Alcotest.(check bool) "symmetric" true (Graph.mem_edge g 2 1);
+  Alcotest.(check bool) "absent" false (Graph.mem_edge g 0 4);
+  Alcotest.(check bool) "no self" false (Graph.mem_edge g 3 3)
+
+let test_iter_edges_each_once () =
+  let g = triangle () in
+  let seen = ref [] in
+  Graph.iter_edges g (fun u v ->
+      Alcotest.(check bool) "u < v" true (u < v);
+      seen := (u, v) :: !seen);
+  Alcotest.(check int) "edge count" 3 (List.length !seen);
+  Alcotest.(check bool) "all distinct" true
+    (List.length (List.sort_uniq compare !seen) = 3)
+
+let test_fold_and_iter_neighbors () =
+  let g = Graph.of_edges ~n:4 [ (1, 0); (1, 2); (1, 3) ] in
+  let sum = Graph.fold_neighbors g 1 ( + ) 0 in
+  Alcotest.(check int) "fold sum" 5 sum;
+  let collected = ref [] in
+  Graph.iter_neighbors g 1 (fun v -> collected := v :: !collected);
+  Alcotest.(check (list int)) "iter order is sorted" [ 0; 2; 3 ] (List.rev !collected)
+
+let test_edge_index_distinct () =
+  let g = triangle () in
+  let indices = ref [] in
+  for u = 0 to 2 do
+    Graph.iter_neighbors g u (fun v -> indices := Graph.edge_index g u v :: !indices)
+  done;
+  let distinct = List.sort_uniq compare !indices in
+  Alcotest.(check int) "one index per directed arc" 6 (List.length distinct);
+  List.iter
+    (fun i ->
+      if i < 0 || i >= Graph.arc_count g then Alcotest.failf "index %d out of range" i)
+    distinct
+
+let test_edge_index_not_found () =
+  let g = Graph.of_edges ~n:3 [ (0, 1) ] in
+  Alcotest.check_raises "missing edge" Not_found (fun () ->
+      ignore (Graph.edge_index g 0 2))
+
+let test_random_neighbor_uniform () =
+  let g = Graph.of_edges ~n:4 [ (0, 1); (0, 2); (0, 3) ] in
+  let rng = Rng.of_int 51 in
+  let counts = Array.make 4 0 in
+  let samples = 30_000 in
+  for _ = 1 to samples do
+    let v = Graph.random_neighbor g rng 0 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Alcotest.(check int) "never itself" 0 counts.(0);
+  for v = 1 to 3 do
+    let p = float_of_int counts.(v) /. float_of_int samples in
+    if Float.abs (p -. (1.0 /. 3.0)) > 0.02 then
+      Alcotest.failf "neighbor %d frequency %.3f" v p
+  done
+
+let test_random_neighbor_isolated () =
+  let g = Graph.of_edges ~n:2 [] in
+  let rng = Rng.of_int 52 in
+  try
+    ignore (Graph.random_neighbor g rng 0);
+    Alcotest.fail "isolated vertex accepted"
+  with Invalid_argument _ -> ()
+
+let test_rejects_self_loop () =
+  try
+    ignore (Graph.of_edges ~n:2 [ (1, 1) ]);
+    Alcotest.fail "self-loop accepted"
+  with Invalid_argument _ -> ()
+
+let test_rejects_duplicate () =
+  (try
+     ignore (Graph.of_edges ~n:3 [ (0, 1); (0, 1) ]);
+     Alcotest.fail "duplicate accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Graph.of_edges ~n:3 [ (0, 1); (1, 0) ]);
+    Alcotest.fail "reversed duplicate accepted"
+  with Invalid_argument _ -> ()
+
+let test_rejects_out_of_range () =
+  try
+    ignore (Graph.of_edges ~n:3 [ (0, 3) ]);
+    Alcotest.fail "out-of-range endpoint accepted"
+  with Invalid_argument _ -> ()
+
+let test_regularity () =
+  let g = triangle () in
+  Alcotest.(check bool) "triangle regular" true (Graph.is_regular g);
+  Alcotest.(check (option int)) "degree 2" (Some 2) (Graph.regular_degree g);
+  let star = Graph.of_edges ~n:4 [ (0, 1); (0, 2); (0, 3) ] in
+  Alcotest.(check bool) "star not regular" false (Graph.is_regular star);
+  Alcotest.(check (option int)) "no regular degree" None (Graph.regular_degree star);
+  Alcotest.(check int) "min degree" 1 (Graph.min_degree star);
+  Alcotest.(check int) "max degree" 3 (Graph.max_degree star)
+
+let test_degrees_array () =
+  let g = Graph.of_edges ~n:4 [ (0, 1); (0, 2); (0, 3) ] in
+  Alcotest.(check (array int)) "degrees" [| 3; 1; 1; 1 |] (Graph.degrees g)
+
+let test_validate_accepts_generators () =
+  Graph.validate (triangle ());
+  Graph.validate (Rumor_graph.Gen_basic.complete 8);
+  Graph.validate (Rumor_graph.Gen_basic.hypercube ~dim:5);
+  Graph.validate (Rumor_graph.Gen_basic.torus ~rows:4 ~cols:5)
+
+let test_empty_graph () =
+  let g = Graph.of_edges ~n:1 [] in
+  Alcotest.(check int) "n" 1 (Graph.n g);
+  Alcotest.(check int) "m" 0 (Graph.num_edges g);
+  Graph.validate g
+
+let prop_random_graph_validates =
+  QCheck.Test.make ~count:50 ~name:"random gnm graphs validate"
+    QCheck.(pair (int_range 2 40) small_nat)
+    (fun (n, seed) ->
+      let rng = Rng.of_int seed in
+      let max_m = n * (n - 1) / 2 in
+      let m = Rng.int rng (max_m + 1) in
+      let g = Rumor_graph.Gen_random.gnm rng ~n ~m in
+      Graph.validate g;
+      Graph.num_edges g = m
+      && Graph.total_degree g = 2 * m)
+
+let suite =
+  [
+    Alcotest.test_case "vertex/edge counts" `Quick test_counts;
+    Alcotest.test_case "degrees and neighbors" `Quick test_degrees_and_neighbors;
+    Alcotest.test_case "mem_edge" `Quick test_mem_edge;
+    Alcotest.test_case "iter_edges visits each edge once" `Quick test_iter_edges_each_once;
+    Alcotest.test_case "fold/iter neighbors" `Quick test_fold_and_iter_neighbors;
+    Alcotest.test_case "edge_index distinct per arc" `Quick test_edge_index_distinct;
+    Alcotest.test_case "edge_index not found" `Quick test_edge_index_not_found;
+    Alcotest.test_case "random_neighbor uniform" `Quick test_random_neighbor_uniform;
+    Alcotest.test_case "random_neighbor isolated" `Quick test_random_neighbor_isolated;
+    Alcotest.test_case "rejects self-loops" `Quick test_rejects_self_loop;
+    Alcotest.test_case "rejects duplicates" `Quick test_rejects_duplicate;
+    Alcotest.test_case "rejects out-of-range" `Quick test_rejects_out_of_range;
+    Alcotest.test_case "regularity queries" `Quick test_regularity;
+    Alcotest.test_case "degrees array" `Quick test_degrees_array;
+    Alcotest.test_case "validate accepts generators" `Quick test_validate_accepts_generators;
+    Alcotest.test_case "edgeless graph" `Quick test_empty_graph;
+    QCheck_alcotest.to_alcotest prop_random_graph_validates;
+  ]

@@ -1,0 +1,75 @@
+(* Tests for Rumor_graph.Graph_io. *)
+
+module Graph = Rumor_graph.Graph
+module Io = Rumor_graph.Graph_io
+module Gen = Rumor_graph.Gen_basic
+
+let graphs_equal g1 g2 =
+  Graph.n g1 = Graph.n g2
+  && Graph.num_edges g1 = Graph.num_edges g2
+  &&
+  let same = ref true in
+  Graph.iter_edges g1 (fun u v -> if not (Graph.mem_edge g2 u v) then same := false);
+  !same
+
+let test_roundtrip () =
+  List.iter
+    (fun g ->
+      let g' = Io.of_edge_list (Io.to_edge_list g) in
+      Alcotest.(check bool) "roundtrip preserves graph" true (graphs_equal g g'))
+    [ Gen.complete 6; Gen.star ~leaves:5; Gen.torus ~rows:3 ~cols:4; Graph.of_edges ~n:3 [] ]
+
+let test_format_shape () =
+  let g = Graph.of_edges ~n:3 [ (0, 2) ] in
+  Alcotest.(check string) "exact text" "n 3\n0 2\n" (Io.to_edge_list g)
+
+let test_parse_comments_and_blanks () =
+  let g = Io.of_edge_list "# a comment\n\nn 4\n0 1\n\n# trailing\n2 3\n" in
+  Alcotest.(check int) "n" 4 (Graph.n g);
+  Alcotest.(check int) "m" 2 (Graph.num_edges g)
+
+let test_parse_errors () =
+  let expect_invalid name text =
+    try
+      ignore (Io.of_edge_list text);
+      Alcotest.failf "%s accepted" name
+    with Invalid_argument _ -> ()
+  in
+  expect_invalid "missing header" "0 1\n";
+  expect_invalid "duplicate header" "n 2\nn 2\n0 1\n";
+  expect_invalid "bad count" "n x\n";
+  expect_invalid "bad edge" "n 3\n0 q\n";
+  expect_invalid "too many fields" "n 3\n0 1 2\n";
+  expect_invalid "edge out of range" "n 2\n0 5\n"
+
+let test_dot_output () =
+  let g = Graph.of_edges ~n:3 [ (0, 1); (1, 2) ] in
+  let dot = Io.to_dot ~name:"demo" g in
+  Alcotest.(check bool) "header" true (String.length dot > 0 && String.sub dot 0 10 = "graph demo");
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "edge 0--1" true (contains "0 -- 1;" dot);
+  Alcotest.(check bool) "edge 1--2" true (contains "1 -- 2;" dot)
+
+let test_save_load () =
+  let g = Gen.hypercube ~dim:4 in
+  let path = Filename.temp_file "rumor_test" ".edges" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Io.save g path;
+      let g' = Io.load path in
+      Alcotest.(check bool) "file roundtrip" true (graphs_equal g g'))
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "format shape" `Quick test_format_shape;
+    Alcotest.test_case "comments and blanks" `Quick test_parse_comments_and_blanks;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "dot output" `Quick test_dot_output;
+    Alcotest.test_case "save/load" `Quick test_save_load;
+  ]

@@ -1,0 +1,95 @@
+(* Tests for Rumor_sim.Protocol: uniform dispatch. *)
+
+module Rng = Rumor_prob.Rng
+module Gen = Rumor_graph.Gen_basic
+module Placement = Rumor_agents.Placement
+module Protocol = Rumor_sim.Protocol
+module Run_result = Rumor_protocols.Run_result
+
+let test_names () =
+  Alcotest.(check string) "push" "push" (Protocol.name Protocol.push);
+  Alcotest.(check string) "push-pull" "push-pull" (Protocol.name Protocol.push_pull);
+  Alcotest.(check string) "visitx" "visit-exchange"
+    (Protocol.name (Protocol.visit_exchange ()));
+  Alcotest.(check string) "meetx" "meet-exchange"
+    (Protocol.name (Protocol.meet_exchange ()));
+  Alcotest.(check string) "combined" "combined" (Protocol.name (Protocol.combined ()));
+  Alcotest.(check string) "quasi" "quasi-push" (Protocol.name Protocol.quasi_push);
+  Alcotest.(check string) "cobra" "cobra" (Protocol.name (Protocol.cobra ()));
+  Alcotest.(check string) "frog" "frog" (Protocol.name (Protocol.frog ()));
+  Alcotest.(check string) "flood" "flood" (Protocol.name Protocol.flood)
+
+let test_dispatch_matches_direct_push () =
+  let g = Gen.torus ~rows:5 ~cols:5 in
+  let via_dispatch =
+    Protocol.run Protocol.push (Rng.of_int 201) g ~source:0 ~max_rounds:10_000
+  in
+  let direct =
+    Rumor_protocols.Push.run (Rng.of_int 201) g ~source:0 ~max_rounds:10_000 ()
+  in
+  Alcotest.(check (option int)) "same result" direct.Run_result.broadcast_time
+    via_dispatch.Run_result.broadcast_time
+
+let test_all_protocols_complete () =
+  let g = Gen.complete 16 in
+  List.iter
+    (fun spec ->
+      let r = Protocol.run spec (Rng.of_int 202) g ~source:0 ~max_rounds:100_000 in
+      Alcotest.(check bool) (Protocol.name spec ^ " completes") true
+        (Run_result.completed r))
+    [
+      Protocol.push;
+      Protocol.push_pull;
+      Protocol.visit_exchange ();
+      Protocol.meet_exchange ();
+      Protocol.combined ();
+      Protocol.quasi_push;
+      Protocol.cobra ();
+      Protocol.frog ();
+      Protocol.flood;
+    ]
+
+let test_lazy_auto_on_bipartite () =
+  (* the star is bipartite: Lazy_auto must pick lazy walks and complete *)
+  let g = Gen.star ~leaves:16 in
+  let spec =
+    Protocol.Meet_exchange { agents = Placement.Linear 1.0; laziness = Protocol.Lazy_auto }
+  in
+  let r = Protocol.run spec (Rng.of_int 203) g ~source:0 ~max_rounds:100_000 in
+  Alcotest.(check bool) "completes via auto laziness" true (Run_result.completed r)
+
+let test_lazy_off_on_bipartite_stalls () =
+  let g = Gen.complete 2 in
+  let spec =
+    Protocol.Meet_exchange { agents = Placement.One_per_vertex; laziness = Protocol.Lazy_off }
+  in
+  let r = Protocol.run spec (Rng.of_int 204) g ~source:0 ~max_rounds:500 in
+  Alcotest.(check (option int)) "stalls without laziness" None
+    r.Run_result.broadcast_time
+
+let test_alpha_scales_agent_count () =
+  (* visit-exchange with alpha = 4 should be at least as fast on average as
+     alpha = 0.25 on a clique; weak but deterministic-in-expectation check *)
+  let g = Gen.complete 64 in
+  let mean alpha =
+    let total = ref 0 in
+    for seed = 0 to 9 do
+      let r =
+        Protocol.run (Protocol.visit_exchange ~alpha ()) (Rng.of_int (2050 + seed)) g
+          ~source:0 ~max_rounds:100_000
+      in
+      total := !total + Run_result.time_exn r
+    done;
+    float_of_int !total
+  in
+  Alcotest.(check bool) "denser agents no slower" true (mean 4.0 <= mean 0.25)
+
+let suite =
+  [
+    Alcotest.test_case "names" `Quick test_names;
+    Alcotest.test_case "dispatch matches direct call" `Quick test_dispatch_matches_direct_push;
+    Alcotest.test_case "all protocols complete" `Quick test_all_protocols_complete;
+    Alcotest.test_case "lazy auto on bipartite" `Quick test_lazy_auto_on_bipartite;
+    Alcotest.test_case "lazy off stalls on bipartite" `Quick test_lazy_off_on_bipartite_stalls;
+    Alcotest.test_case "alpha scales agents" `Quick test_alpha_scales_agent_count;
+  ]

@@ -1,0 +1,216 @@
+(* Tests for Rumor_prob.Rng: determinism, stream independence, uniformity. *)
+
+module Rng = Rumor_prob.Rng
+
+let test_deterministic () =
+  let a = Rng.of_int 42 and b = Rng.of_int 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.of_int 42 and b = Rng.of_int 43 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "nearby seeds decorrelate" true (!same < 4)
+
+let test_zero_seed_works () =
+  let g = Rng.create 0L in
+  let distinct = ref false in
+  let first = Rng.bits64 g in
+  for _ = 1 to 10 do
+    if Rng.bits64 g <> first then distinct := true
+  done;
+  Alcotest.(check bool) "seed 0 produces a varying stream" true !distinct
+
+let test_copy_diverges_from_original () =
+  let a = Rng.of_int 7 in
+  let _ = Rng.bits64 a in
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.bits64 a) (Rng.bits64 b);
+  (* advancing one does not affect the other *)
+  let _ = Rng.bits64 a in
+  let x = Rng.bits64 a and y = Rng.bits64 b in
+  Alcotest.(check bool) "streams are now offset" true (x <> y || Rng.bits64 a <> Rng.bits64 b)
+
+let test_split_independent () =
+  let parent = Rng.of_int 5 in
+  let child1 = Rng.split parent in
+  let child2 = Rng.split parent in
+  let matches = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 child1 = Rng.bits64 child2 then incr matches
+  done;
+  Alcotest.(check int) "children do not mirror each other" 0 !matches
+
+let test_int_bounds () =
+  let g = Rng.of_int 1 in
+  for bound = 1 to 40 do
+    for _ = 1 to 200 do
+      let x = Rng.int g bound in
+      if x < 0 || x >= bound then
+        Alcotest.failf "Rng.int %d produced %d" bound x
+    done
+  done
+
+let test_int_invalid () =
+  let g = Rng.of_int 1 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int g 0));
+  Alcotest.check_raises "negative bound"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int g (-3)))
+
+let test_int_uniformity () =
+  (* chi-squared against uniform over 10 buckets; df = 9, crit(0.999) ~ 27.9 *)
+  let g = Rng.of_int 11 in
+  let buckets = Array.make 10 0 in
+  let samples = 100_000 in
+  for _ = 1 to samples do
+    let x = Rng.int g 10 in
+    buckets.(x) <- buckets.(x) + 1
+  done;
+  let expected = float_of_int samples /. 10.0 in
+  let chi2 =
+    Array.fold_left
+      (fun acc c ->
+        let d = float_of_int c -. expected in
+        acc +. (d *. d /. expected))
+      0.0 buckets
+  in
+  Alcotest.(check bool) (Printf.sprintf "chi2=%.1f < 27.9" chi2) true (chi2 < 27.9)
+
+let test_int_non_power_of_two_uniformity () =
+  let g = Rng.of_int 12 in
+  let buckets = Array.make 7 0 in
+  let samples = 70_000 in
+  for _ = 1 to samples do
+    let x = Rng.int g 7 in
+    buckets.(x) <- buckets.(x) + 1
+  done;
+  let expected = float_of_int samples /. 7.0 in
+  Array.iteri
+    (fun i c ->
+      let ratio = float_of_int c /. expected in
+      if ratio < 0.9 || ratio > 1.1 then
+        Alcotest.failf "bucket %d has ratio %.3f" i ratio)
+    buckets
+
+let test_int_in () =
+  let g = Rng.of_int 2 in
+  for _ = 1 to 1000 do
+    let x = Rng.int_in g (-5) 5 in
+    if x < -5 || x > 5 then Alcotest.failf "int_in out of range: %d" x
+  done;
+  Alcotest.(check int) "singleton range" 3 (Rng.int_in g 3 3);
+  Alcotest.check_raises "empty range" (Invalid_argument "Rng.int_in: empty range")
+    (fun () -> ignore (Rng.int_in g 4 3))
+
+let test_float_range () =
+  let g = Rng.of_int 3 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float g 1.0 in
+    if x < 0.0 || x >= 1.0 then Alcotest.failf "float out of [0,1): %f" x
+  done
+
+let test_float_mean () =
+  let g = Rng.of_int 4 in
+  let n = 100_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.float g 1.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.4f near 0.5" mean)
+    true
+    (Float.abs (mean -. 0.5) < 0.01)
+
+let test_bool_balance () =
+  let g = Rng.of_int 5 in
+  let heads = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    if Rng.bool g then incr heads
+  done;
+  let p = float_of_int !heads /. float_of_int n in
+  Alcotest.(check bool) (Printf.sprintf "p=%.3f near 0.5" p) true (Float.abs (p -. 0.5) < 0.01)
+
+let test_bernoulli_extremes () =
+  let g = Rng.of_int 6 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 never" false (Rng.bernoulli g 0.0);
+    Alcotest.(check bool) "p=1 always" true (Rng.bernoulli g 1.0)
+  done
+
+let test_bernoulli_rate () =
+  let g = Rng.of_int 7 in
+  let hits = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    if Rng.bernoulli g 0.3 then incr hits
+  done;
+  let p = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) (Printf.sprintf "p=%.3f near 0.3" p) true (Float.abs (p -. 0.3) < 0.01)
+
+let test_shuffle_is_permutation () =
+  let g = Rng.of_int 8 in
+  let a = Array.init 100 (fun i -> i) in
+  Rng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 100 (fun i -> i)) sorted
+
+let test_shuffle_uniform_small () =
+  (* all 6 permutations of 3 elements should appear with roughly equal
+     frequency *)
+  let g = Rng.of_int 9 in
+  let counts = Hashtbl.create 6 in
+  let n = 60_000 in
+  for _ = 1 to n do
+    let a = [| 0; 1; 2 |] in
+    Rng.shuffle g a;
+    let key = (a.(0) * 9) + (a.(1) * 3) + a.(2) in
+    Hashtbl.replace counts key (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+  done;
+  Alcotest.(check int) "six permutations observed" 6 (Hashtbl.length counts);
+  Hashtbl.iter
+    (fun _ c ->
+      let ratio = float_of_int c /. (float_of_int n /. 6.0) in
+      if ratio < 0.9 || ratio > 1.1 then Alcotest.failf "permutation ratio %.3f" ratio)
+    counts
+
+let test_choose () =
+  let g = Rng.of_int 10 in
+  let a = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    let x = Rng.choose g a in
+    Alcotest.(check bool) "chosen element is in the array" true (Array.mem x a)
+  done;
+  Alcotest.check_raises "empty array" (Invalid_argument "Rng.choose: empty array")
+    (fun () -> ignore (Rng.choose g [||]))
+
+let suite =
+  [
+    Alcotest.test_case "deterministic by seed" `Quick test_deterministic;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "zero seed works" `Quick test_zero_seed_works;
+    Alcotest.test_case "copy semantics" `Quick test_copy_diverges_from_original;
+    Alcotest.test_case "split independence" `Quick test_split_independent;
+    Alcotest.test_case "int stays in bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int rejects bad bounds" `Quick test_int_invalid;
+    Alcotest.test_case "int uniformity (chi2)" `Quick test_int_uniformity;
+    Alcotest.test_case "int uniformity, non-power-of-two" `Quick
+      test_int_non_power_of_two_uniformity;
+    Alcotest.test_case "int_in range and errors" `Quick test_int_in;
+    Alcotest.test_case "float in [0,1)" `Quick test_float_range;
+    Alcotest.test_case "float mean" `Quick test_float_mean;
+    Alcotest.test_case "bool balance" `Quick test_bool_balance;
+    Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+    Alcotest.test_case "bernoulli rate" `Quick test_bernoulli_rate;
+    Alcotest.test_case "shuffle permutes" `Quick test_shuffle_is_permutation;
+    Alcotest.test_case "shuffle uniform on 3 elements" `Quick test_shuffle_uniform_small;
+    Alcotest.test_case "choose" `Quick test_choose;
+  ]

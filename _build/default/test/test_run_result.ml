@@ -1,0 +1,37 @@
+(* Tests for Rumor_protocols.Run_result. *)
+
+module Run_result = Rumor_protocols.Run_result
+
+let sample ?(bt = Some 7) () =
+  Run_result.make ~broadcast_time:bt ~rounds_run:7 ~informed_curve:[| 1; 3; 7 |]
+    ~contacts:42 ()
+
+let test_completed () =
+  Alcotest.(check bool) "completed" true (Run_result.completed (sample ()));
+  Alcotest.(check bool) "capped" false (Run_result.completed (sample ~bt:None ()))
+
+let test_time_exn () =
+  Alcotest.(check int) "time" 7 (Run_result.time_exn (sample ()));
+  try
+    ignore (Run_result.time_exn (sample ~bt:None ()));
+    Alcotest.fail "capped accepted"
+  with Invalid_argument _ -> ()
+
+let test_defaults () =
+  let r = sample () in
+  Alcotest.(check (option int)) "no agent round by default" None
+    r.Run_result.all_agents_informed
+
+let test_pp () =
+  let done_text = Format.asprintf "%a" Run_result.pp (sample ()) in
+  Alcotest.(check string) "completed text" "broadcast in 7 rounds (42 contacts)" done_text;
+  let capped_text = Format.asprintf "%a" Run_result.pp (sample ~bt:None ()) in
+  Alcotest.(check string) "capped text" "capped after 7 rounds (42 contacts)" capped_text
+
+let suite =
+  [
+    Alcotest.test_case "completed" `Quick test_completed;
+    Alcotest.test_case "time_exn" `Quick test_time_exn;
+    Alcotest.test_case "defaults" `Quick test_defaults;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+  ]

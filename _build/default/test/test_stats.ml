@@ -1,0 +1,134 @@
+(* Tests for Rumor_prob.Stats: streaming accumulator, summaries, quantiles,
+   histogram. *)
+
+module Stats = Rumor_prob.Stats
+
+let feed xs =
+  let t = Stats.create () in
+  List.iter (Stats.add t) xs;
+  t
+
+let test_mean_variance_exact () =
+  let t = feed [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  Alcotest.(check int) "count" 8 (Stats.count t);
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Stats.mean t);
+  (* population variance is 4; unbiased sample variance is 32/7 *)
+  Alcotest.(check (float 1e-9)) "variance" (32.0 /. 7.0) (Stats.variance t);
+  Alcotest.(check (float 1e-9)) "min" 2.0 (Stats.min_value t);
+  Alcotest.(check (float 1e-9)) "max" 9.0 (Stats.max_value t)
+
+let test_empty_is_nan () =
+  let t = Stats.create () in
+  Alcotest.(check bool) "mean nan" true (Float.is_nan (Stats.mean t));
+  Alcotest.(check bool) "variance nan" true (Float.is_nan (Stats.variance t))
+
+let test_single_value () =
+  let t = feed [ 3.5 ] in
+  Alcotest.(check (float 1e-9)) "mean" 3.5 (Stats.mean t);
+  Alcotest.(check bool) "variance undefined" true (Float.is_nan (Stats.variance t))
+
+let test_add_int () =
+  let t = Stats.create () in
+  Stats.add_int t 3;
+  Stats.add_int t 5;
+  Alcotest.(check (float 1e-9)) "mean" 4.0 (Stats.mean t)
+
+let test_numerical_stability () =
+  (* Welford should not lose precision with a large offset *)
+  let offset = 1e9 in
+  let t = feed [ offset +. 1.0; offset +. 2.0; offset +. 3.0 ] in
+  Alcotest.(check (float 1e-6)) "variance" 1.0 (Stats.variance t)
+
+let test_std_error_and_ci () =
+  let t = feed [ 1.0; 2.0; 3.0; 4.0 ] in
+  let sd = Stats.stddev t in
+  Alcotest.(check (float 1e-9)) "std error" (sd /. 2.0) (Stats.std_error t);
+  Alcotest.(check (float 1e-9)) "ci95" (1.96 *. sd /. 2.0) (Stats.ci95_halfwidth t)
+
+let test_quantile_interpolation () =
+  let sorted = [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check (float 1e-9)) "q0" 1.0 (Stats.quantile sorted 0.0);
+  Alcotest.(check (float 1e-9)) "q1" 4.0 (Stats.quantile sorted 1.0);
+  Alcotest.(check (float 1e-9)) "median" 2.5 (Stats.quantile sorted 0.5);
+  Alcotest.(check (float 1e-9)) "q25" 1.75 (Stats.quantile sorted 0.25)
+
+let test_summarize () =
+  let s = Stats.summarize [| 5.0; 1.0; 3.0; 2.0; 4.0 |] in
+  Alcotest.(check int) "n" 5 s.Stats.n;
+  Alcotest.(check (float 1e-9)) "mean" 3.0 s.Stats.mean;
+  Alcotest.(check (float 1e-9)) "median" 3.0 s.Stats.median;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Stats.min;
+  Alcotest.(check (float 1e-9)) "max" 5.0 s.Stats.max
+
+let test_summarize_ints () =
+  let s = Stats.summarize_ints [| 10; 20 |] in
+  Alcotest.(check (float 1e-9)) "mean" 15.0 s.Stats.mean
+
+let test_summarize_empty () =
+  try
+    ignore (Stats.summarize [||]);
+    Alcotest.fail "empty accepted"
+  with Invalid_argument _ -> ()
+
+let test_summarize_does_not_mutate () =
+  let xs = [| 3.0; 1.0; 2.0 |] in
+  let (_ : Stats.summary) = Stats.summarize xs in
+  Alcotest.(check (array (float 1e-9))) "input unchanged" [| 3.0; 1.0; 2.0 |] xs
+
+let test_histogram_binning () =
+  let h = Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+  List.iter (Stats.Histogram.add h) [ 0.0; 1.9; 2.0; 9.99; -1.0; 10.0; 5.5 ];
+  Alcotest.(check (array int)) "counts" [| 2; 1; 1; 0; 1 |] (Stats.Histogram.counts h);
+  Alcotest.(check int) "underflow" 1 (Stats.Histogram.underflow h);
+  Alcotest.(check int) "overflow" 1 (Stats.Histogram.overflow h);
+  Alcotest.(check int) "total" 7 (Stats.Histogram.total h)
+
+let test_histogram_edges () =
+  let h = Stats.Histogram.create ~lo:0.0 ~hi:1.0 ~bins:4 in
+  let edges = Stats.Histogram.bin_edges h in
+  Alcotest.(check int) "edge count" 5 (Array.length edges);
+  Alcotest.(check (float 1e-9)) "first" 0.0 edges.(0);
+  Alcotest.(check (float 1e-9)) "last" 1.0 edges.(4)
+
+let test_histogram_invalid () =
+  (try
+     ignore (Stats.Histogram.create ~lo:0.0 ~hi:1.0 ~bins:0);
+     Alcotest.fail "bins=0 accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Stats.Histogram.create ~lo:1.0 ~hi:1.0 ~bins:3);
+    Alcotest.fail "hi=lo accepted"
+  with Invalid_argument _ -> ()
+
+let prop_welford_matches_naive =
+  QCheck.Test.make ~count:100 ~name:"welford matches two-pass computation"
+    QCheck.(list_of_size (Gen.int_range 2 50) (float_range (-100.0) 100.0))
+    (fun xs ->
+      let t = feed xs in
+      let n = List.length xs in
+      let mean = List.fold_left ( +. ) 0.0 xs /. float_of_int n in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs
+        /. float_of_int (n - 1)
+      in
+      Float.abs (Stats.mean t -. mean) < 1e-6
+      && Float.abs (Stats.variance t -. var) < 1e-5 *. (1.0 +. var))
+
+let suite =
+  [
+    Alcotest.test_case "mean/variance exact" `Quick test_mean_variance_exact;
+    Alcotest.test_case "empty accumulator" `Quick test_empty_is_nan;
+    Alcotest.test_case "single value" `Quick test_single_value;
+    Alcotest.test_case "add_int" `Quick test_add_int;
+    Alcotest.test_case "numerical stability" `Quick test_numerical_stability;
+    Alcotest.test_case "std error and ci" `Quick test_std_error_and_ci;
+    Alcotest.test_case "quantile interpolation" `Quick test_quantile_interpolation;
+    Alcotest.test_case "summarize" `Quick test_summarize;
+    Alcotest.test_case "summarize ints" `Quick test_summarize_ints;
+    Alcotest.test_case "summarize empty" `Quick test_summarize_empty;
+    Alcotest.test_case "summarize does not mutate" `Quick test_summarize_does_not_mutate;
+    Alcotest.test_case "histogram binning" `Quick test_histogram_binning;
+    Alcotest.test_case "histogram edges" `Quick test_histogram_edges;
+    Alcotest.test_case "histogram invalid" `Quick test_histogram_invalid;
+    QCheck_alcotest.to_alcotest prop_welford_matches_naive;
+  ]
