@@ -6,6 +6,7 @@
      dune exec bench/main.exe -- --tables-only
      dune exec bench/main.exe -- --micro-only
      dune exec bench/main.exe -- --seed 7
+     dune exec bench/main.exe -- --tables-only --metrics bench.jsonl
 
    Part 1 regenerates every "table/figure" of the paper: one section per
    experiment E1..E10 (Figure 1(a)-(e), Theorems 1/23/24/25, the Section 5
@@ -24,12 +25,12 @@ module P = Rumor_protocols
 (* Part 1: the paper's tables and figures                              *)
 (* ------------------------------------------------------------------ *)
 
-let run_tables profile ~seed =
+let run_tables ?metrics profile ~seed =
   print_endline "=====================================================================";
   print_endline " Part 1: paper reproduction tables";
   print_endline " (one experiment per figure panel / theorem; see DESIGN.md section 3)";
   print_endline "=====================================================================";
-  let results = Experiments.run_all profile ~seed in
+  let results = Experiments.run_all ?metrics profile ~seed in
   List.iter
     (fun ((e : Experiments.t), tables) ->
       Printf.printf "\n### %s: %s [%s]\n\n" e.Experiments.id e.Experiments.title
@@ -177,8 +178,23 @@ let () =
     in
     find args
   in
+  let metrics_path =
+    let rec find = function
+      | "--metrics" :: v :: _ -> Some v
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
   let profile = if has "--full" then Experiments.Full else Experiments.Quick in
   let t0 = Unix.gettimeofday () in
-  if not (has "--micro-only") then run_tables profile ~seed;
+  if not (has "--micro-only") then begin
+    match metrics_path with
+    | None -> run_tables profile ~seed
+    | Some path ->
+        Rumor_obs.Run_record.with_jsonl_file path (fun sink ->
+            run_tables ~metrics:sink profile ~seed);
+        Printf.printf "wrote per-replicate metrics to %s\n" path
+  end;
   if not (has "--tables-only") then run_micro ();
   Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

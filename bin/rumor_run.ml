@@ -11,6 +11,7 @@ module Placement = Rumor_agents.Placement
 module Protocol = Rumor_sim.Protocol
 module Graph_spec = Rumor_sim.Graph_spec
 module Replicate = Rumor_sim.Replicate
+module Run_record = Rumor_obs.Run_record
 module Stats = Rumor_prob.Stats
 
 let protocol_of_string ~alpha ~laziness name =
@@ -40,7 +41,7 @@ let laziness_of_string = function
   | other -> Error (Printf.sprintf "bad laziness %S (off|on|auto)" other)
 
 let run graph_text protocols source_override seed reps max_rounds alpha lazy_text
-    show_curve =
+    show_curve metrics_path =
   let ( let* ) r f = match r with Ok v -> f v | Error m -> `Error (false, m) in
   let* spec =
     match Graph_spec.parse graph_text with Ok s -> Ok s | Error m -> Error m
@@ -71,35 +72,52 @@ let run graph_text protocols source_override seed reps max_rounds alpha lazy_tex
   else begin
     Printf.printf "source %d, %d replication(s), seed %d, round cap %d\n\n" source
       reps seed max_rounds;
-    List.iter
-      (fun p ->
-        let graph rng =
-          if Graph_spec.is_random spec then
-            let g, s = Graph_spec.build rng spec in
-            (g, Option.value source_override ~default:s)
-          else (g0, source)
-        in
-        let m = Replicate.broadcast_times ~seed ~reps ~graph ~spec:p ~max_rounds in
-        let s = m.Replicate.summary in
-        Printf.printf "%-14s mean %.1f  median %.1f  min %.0f  max %.0f%s\n"
-          (Protocol.name p) s.Stats.mean s.Stats.median s.Stats.min s.Stats.max
-          (if m.Replicate.capped > 0 then
-             Printf.sprintf "  (%d/%d capped)" m.Replicate.capped reps
-           else "");
-        if show_curve then begin
-          let rng = Rng.of_int seed in
-          let g, s0 = graph rng in
-          let r = Protocol.run p rng g ~source:s0 ~max_rounds in
-          let curve = r.Rumor_protocols.Run_result.informed_curve in
-          Printf.printf "  curve %s"
-            (Rumor_sim.Sparkline.render_ints ~width:50 curve);
-          (match Rumor_sim.Curve_stats.half_time r with
-          | Some h -> Printf.printf "  (50%% at round %d)" h
-          | None -> ());
-          Printf.printf "\n"
-        end)
-      protocol_specs;
-    `Ok ()
+    let run_protocols sink =
+      List.iter
+        (fun p ->
+          let graph rng =
+            if Graph_spec.is_random spec then
+              let g, s = Graph_spec.build rng spec in
+              (g, Option.value source_override ~default:s)
+            else (g0, source)
+          in
+          let m =
+            Replicate.broadcast_times ?sink
+              ~graph_name:(Graph_spec.to_string spec) ~seed ~reps ~graph ~spec:p
+              ~max_rounds ()
+          in
+          let s = m.Replicate.summary in
+          Printf.printf "%-14s mean %.1f  median %.1f  min %.0f  max %.0f%s\n"
+            (Protocol.name p) s.Stats.mean s.Stats.median s.Stats.min s.Stats.max
+            (if m.Replicate.capped > 0 then
+               Printf.sprintf "  (%d/%d capped)" m.Replicate.capped reps
+             else "");
+          if show_curve then begin
+            let rng = Rng.of_int seed in
+            let g, s0 = graph rng in
+            let r = Protocol.run p rng g ~source:s0 ~max_rounds in
+            let curve = r.Rumor_protocols.Run_result.informed_curve in
+            Printf.printf "  curve %s"
+              (Rumor_sim.Sparkline.render_ints ~width:50 curve);
+            (match Rumor_sim.Curve_stats.half_time r with
+            | Some h -> Printf.printf "  (50%% at round %d)" h
+            | None -> ());
+            Printf.printf "\n"
+          end)
+        protocol_specs
+    in
+    match metrics_path with
+    | None ->
+        run_protocols None;
+        `Ok ()
+    | Some path -> (
+        match
+          Run_record.with_jsonl_file path (fun sink -> run_protocols (Some sink))
+        with
+        | () ->
+            Printf.printf "\nwrote per-replicate metrics to %s\n" path;
+            `Ok ()
+        | exception Sys_error m -> `Error (false, "cannot write metrics: " ^ m))
   end
 
 let graph_arg =
@@ -141,6 +159,13 @@ let curve_arg =
   let doc = "Also print a sampled informed-count curve of one run." in
   Arg.(value & flag & info [ "curve" ] ~doc)
 
+let metrics_arg =
+  let doc =
+    "Write one JSONL record per replicate (seed, informed curve, wall-clock, \
+     GC counters) to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "run rumor-spreading protocols on a graph" in
   let man =
@@ -157,6 +182,6 @@ let cmd =
     Term.(
       ret
         (const run $ graph_arg $ protocol_arg $ source_arg $ seed_arg $ reps_arg
-       $ max_rounds_arg $ alpha_arg $ lazy_arg $ curve_arg))
+       $ max_rounds_arg $ alpha_arg $ lazy_arg $ curve_arg $ metrics_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,98 @@
+type t = {
+  on_round_start : int -> unit;
+  on_round_end : round:int -> informed:int -> contacts:int -> unit;
+  on_contact : int -> int -> unit;
+  on_walker_move : agent:int -> from_:int -> to_:int -> unit;
+}
+
+let nop =
+  {
+    on_round_start = (fun _ -> ());
+    on_round_end = (fun ~round:_ ~informed:_ ~contacts:_ -> ());
+    on_contact = (fun _ _ -> ());
+    on_walker_move = (fun ~agent:_ ~from_:_ ~to_:_ -> ());
+  }
+
+let make ?(on_round_start = nop.on_round_start) ?(on_round_end = nop.on_round_end)
+    ?(on_contact = nop.on_contact) ?(on_walker_move = nop.on_walker_move) () =
+  { on_round_start; on_round_end; on_contact; on_walker_move }
+
+let pair a b =
+  {
+    on_round_start =
+      (fun r ->
+        a.on_round_start r;
+        b.on_round_start r);
+    on_round_end =
+      (fun ~round ~informed ~contacts ->
+        a.on_round_end ~round ~informed ~contacts;
+        b.on_round_end ~round ~informed ~contacts);
+    on_contact =
+      (fun u v ->
+        a.on_contact u v;
+        b.on_contact u v);
+    on_walker_move =
+      (fun ~agent ~from_ ~to_ ->
+        a.on_walker_move ~agent ~from_ ~to_;
+        b.on_walker_move ~agent ~from_ ~to_);
+  }
+
+let[@inline] round_start obs r =
+  match obs with None -> () | Some i -> i.on_round_start r
+
+let[@inline] round_end obs ~round ~informed ~contacts =
+  match obs with None -> () | Some i -> i.on_round_end ~round ~informed ~contacts
+
+let[@inline] contact obs u v =
+  match obs with None -> () | Some i -> i.on_contact u v
+
+let[@inline] walker_move obs ~agent ~from_ ~to_ =
+  match obs with None -> () | Some i -> i.on_walker_move ~agent ~from_ ~to_
+
+module Recorder = struct
+  type r = {
+    mutable rounds_started : int;
+    mutable rounds_ended : int;
+    mutable contacts : int;
+    mutable walker_moves : int;
+    mutable curve : int array;  (* filled prefix has length rounds_ended *)
+  }
+
+  let create () =
+    {
+      rounds_started = 0;
+      rounds_ended = 0;
+      contacts = 0;
+      walker_moves = 0;
+      curve = Array.make 16 0;
+    }
+
+  let push_curve r informed =
+    let len = Array.length r.curve in
+    if r.rounds_ended >= len then begin
+      let bigger = Array.make (2 * len) 0 in
+      Array.blit r.curve 0 bigger 0 len;
+      r.curve <- bigger
+    end;
+    r.curve.(r.rounds_ended) <- informed;
+    r.rounds_ended <- r.rounds_ended + 1
+
+  let instrument r =
+    {
+      on_round_start = (fun _ -> r.rounds_started <- r.rounds_started + 1);
+      on_round_end =
+        (fun ~round:_ ~informed ~contacts:_ -> push_curve r informed);
+      on_contact = (fun _ _ -> r.contacts <- r.contacts + 1);
+      on_walker_move =
+        (fun ~agent:_ ~from_:_ ~to_:_ -> r.walker_moves <- r.walker_moves + 1);
+    }
+
+  let rounds_started r = r.rounds_started
+  let rounds_ended r = r.rounds_ended
+  let contacts r = r.contacts
+  let walker_moves r = r.walker_moves
+  let curve r = Array.sub r.curve 0 r.rounds_ended
+
+  let last_informed r =
+    if r.rounds_ended = 0 then None else Some r.curve.(r.rounds_ended - 1)
+end

@@ -1,0 +1,78 @@
+(** Per-round observation hooks for protocol runs.
+
+    Every protocol in [lib/protocols/] accepts an optional [?obs] argument of
+    type {!t} and reports its progress through these four hooks instead of
+    (only) its private curve arrays.  Passing no instrument costs one [match]
+    on an option per hook site; the protocols' return values are unchanged.
+
+    Round numbering follows the paper and {!Rumor_protocols.Run_result}:
+    round 0 is the initial state and is {e not} announced through
+    [on_round_start]/[on_round_end]; the hooks fire once per simulated round
+    [1 .. rounds_run].  The continuous-time protocols ([Async_push],
+    [Async_meet_exchange]) have no rounds and only fire [on_contact] /
+    [on_walker_move]. *)
+
+type t = {
+  on_round_start : int -> unit;  (** [on_round_start round] before the round *)
+  on_round_end : round:int -> informed:int -> contacts:int -> unit;
+      (** after the round: the protocol's informed-party count and its
+          cumulative contact count so far *)
+  on_contact : int -> int -> unit;
+      (** [on_contact u v]: a pairwise communication from party [u] to party
+          [v].  For vertex protocols these are vertices; for agent-based
+          protocols the endpoints are vertices (source/vertex hand-offs) or
+          agent indices (agent–agent exchanges), mirroring what the
+          protocol's [contacts] counter counts. *)
+  on_walker_move : agent:int -> from_:int -> to_:int -> unit;
+      (** one walker step; lazy stays report [from_ = to_] *)
+}
+
+val nop : t
+(** An instrument whose hooks all do nothing. *)
+
+val make :
+  ?on_round_start:(int -> unit) ->
+  ?on_round_end:(round:int -> informed:int -> contacts:int -> unit) ->
+  ?on_contact:(int -> int -> unit) ->
+  ?on_walker_move:(agent:int -> from_:int -> to_:int -> unit) ->
+  unit ->
+  t
+(** Build an instrument; omitted hooks default to no-ops. *)
+
+val pair : t -> t -> t
+(** [pair a b] calls [a]'s hook then [b]'s at every site. *)
+
+(** {1 Option-threading helpers}
+
+    Protocols receive [t option] and call these; they compile to a single
+    option match when no instrument is attached. *)
+
+val round_start : t option -> int -> unit
+val round_end : t option -> round:int -> informed:int -> contacts:int -> unit
+val contact : t option -> int -> int -> unit
+val walker_move : t option -> agent:int -> from_:int -> to_:int -> unit
+
+(** {1 Recording instrument}
+
+    An instrument that accumulates everything it sees, for tests and for
+    capturing per-round curves without touching protocol internals. *)
+module Recorder : sig
+  type r
+
+  val create : unit -> r
+
+  val instrument : r -> t
+  (** The hooks backed by this recorder. *)
+
+  val rounds_started : r -> int
+  val rounds_ended : r -> int
+  val contacts : r -> int  (** number of [on_contact] firings *)
+
+  val walker_moves : r -> int
+
+  val curve : r -> int array
+  (** Informed counts in [on_round_end] order (rounds [1 .. rounds_ended]). *)
+
+  val last_informed : r -> int option
+  (** Informed count of the most recent round end, if any. *)
+end

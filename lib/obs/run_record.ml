@@ -1,0 +1,115 @@
+type gc_counters = {
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+}
+
+type t = {
+  seed : int;
+  rep : int;
+  graph : string;
+  protocol : string;
+  vertices : int;
+  broadcast_time : int option;
+  rounds_run : int;
+  capped : bool;
+  contacts : int;
+  informed_curve : int array;
+  wall_seconds : float;
+  gc : gc_counters;
+}
+
+type sink = t -> unit
+
+let gc_now () =
+  let minor, promoted, major = Gc.counters () in
+  { minor_words = minor; major_words = major; promoted_words = promoted }
+
+let timed f =
+  let g0 = gc_now () in
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  let wall = Unix.gettimeofday () -. t0 in
+  let g1 = gc_now () in
+  ( result,
+    wall,
+    {
+      minor_words = g1.minor_words -. g0.minor_words;
+      major_words = g1.major_words -. g0.major_words;
+      promoted_words = g1.promoted_words -. g0.promoted_words;
+    } )
+
+(* JSON helpers — the schema is flat and small, so we emit by hand rather
+   than pull in a JSON dependency. *)
+
+let buf_add_json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let buf_add_float buf x =
+  (* shortest round-trippable decimal; JSON forbids inf/nan but runs never
+     produce them *)
+  Buffer.add_string buf (Printf.sprintf "%.17g" x)
+
+let to_json t =
+  let buf = Buffer.create (256 + (8 * Array.length t.informed_curve)) in
+  Buffer.add_string buf "{\"seed\":";
+  Buffer.add_string buf (string_of_int t.seed);
+  Buffer.add_string buf ",\"rep\":";
+  Buffer.add_string buf (string_of_int t.rep);
+  Buffer.add_string buf ",\"graph\":";
+  buf_add_json_string buf t.graph;
+  Buffer.add_string buf ",\"protocol\":";
+  buf_add_json_string buf t.protocol;
+  Buffer.add_string buf ",\"vertices\":";
+  Buffer.add_string buf (string_of_int t.vertices);
+  Buffer.add_string buf ",\"broadcast_time\":";
+  (match t.broadcast_time with
+  | Some r -> Buffer.add_string buf (string_of_int r)
+  | None -> Buffer.add_string buf "null");
+  Buffer.add_string buf ",\"rounds_run\":";
+  Buffer.add_string buf (string_of_int t.rounds_run);
+  Buffer.add_string buf ",\"capped\":";
+  Buffer.add_string buf (if t.capped then "true" else "false");
+  Buffer.add_string buf ",\"contacts\":";
+  Buffer.add_string buf (string_of_int t.contacts);
+  Buffer.add_string buf ",\"informed_curve\":[";
+  Array.iteri
+    (fun i x ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (string_of_int x))
+    t.informed_curve;
+  Buffer.add_string buf "],\"wall_seconds\":";
+  buf_add_float buf t.wall_seconds;
+  Buffer.add_string buf ",\"gc\":{\"minor_words\":";
+  buf_add_float buf t.gc.minor_words;
+  Buffer.add_string buf ",\"major_words\":";
+  buf_add_float buf t.gc.major_words;
+  Buffer.add_string buf ",\"promoted_words\":";
+  buf_add_float buf t.gc.promoted_words;
+  Buffer.add_string buf "}}";
+  Buffer.contents buf
+
+let output oc t =
+  output_string oc (to_json t);
+  output_char oc '\n'
+
+let to_channel oc t = output oc t
+
+let with_jsonl_file path f =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> f (to_channel oc))

@@ -3,6 +3,7 @@ module Dist = Rumor_prob.Dist
 module Graph = Rumor_graph.Graph
 module Placement = Rumor_agents.Placement
 module Event_queue = Rumor_des.Event_queue
+module Obs = Rumor_obs.Instrument
 
 type result = {
   broadcast_time : float option;
@@ -11,12 +12,21 @@ type result = {
   agents : int;
 }
 
-let run rng g ~source ~agents ~max_time =
+let run ?obs ?lazy_walk rng g ~source ~agents ~max_time =
   let n = Graph.n g in
   if source < 0 || source >= n then
     invalid_arg "Async_meet_exchange.run: source out of range";
   if not (max_time > 0.0) then
     invalid_arg "Async_meet_exchange.run: max_time must be positive";
+  (* Continuous time already breaks the bipartite parity trap, but the
+     default mirrors the synchronous protocol's safety convention so that
+     direct callers comparing the two processes study the same walk law:
+     lazy iff the graph is bipartite, overridable explicitly. *)
+  let lazy_walk =
+    match lazy_walk with
+    | Some b -> b
+    | None -> Rumor_graph.Algo.is_bipartite g
+  in
   let pos = Placement.place rng agents g in
   let k = Array.length pos in
   let informed = Array.make k false in
@@ -26,10 +36,11 @@ let run rng g ~source ~agents ~max_time =
   let agents_at = Array.make n [] in
   Array.iteri (fun a v -> agents_at.(v) <- a :: agents_at.(v)) pos;
   let source_active = ref true in
-  let inform a =
+  let inform v a =
     if not informed.(a) then begin
       informed.(a) <- true;
-      incr informed_count
+      incr informed_count;
+      Obs.contact obs v a
     end
   in
   (* exchange at vertex v: if anyone there is informed (or v is the still-
@@ -38,7 +49,7 @@ let run rng g ~source ~agents ~max_time =
     let any_informed = List.exists (fun a -> informed.(a)) agents_at.(v) in
     let source_hit = !source_active && v = source && agents_at.(v) <> [] in
     if any_informed || source_hit then begin
-      List.iter inform agents_at.(v);
+      List.iter (inform v) agents_at.(v);
       if source_hit then source_active := false
     end
   in
@@ -59,10 +70,15 @@ let run rng g ~source ~agents ~max_time =
         else begin
           incr rings;
           let u = pos.(a) in
-          let v = Graph.random_neighbor g rng u in
-          agents_at.(u) <- List.filter (fun b -> b <> a) agents_at.(u);
-          agents_at.(v) <- a :: agents_at.(v);
-          pos.(a) <- v;
+          let v =
+            if lazy_walk && Rng.bool rng then u else Graph.random_neighbor g rng u
+          in
+          if v <> u then begin
+            agents_at.(u) <- List.filter (fun b -> b <> a) agents_at.(u);
+            agents_at.(v) <- a :: agents_at.(v);
+            pos.(a) <- v
+          end;
+          Obs.walker_move obs ~agent:a ~from_:u ~to_:v;
           exchange_at v;
           if !informed_count = k then begin
             finish := Some now;

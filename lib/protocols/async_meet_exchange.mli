@@ -10,8 +10,9 @@
     Because moves are never simultaneous, the bipartite parity trap of the
     synchronous protocol disappears: two agents on K_2 meet in O(1) expected
     time even though their synchronized counterparts would swap forever.
-    Ablation A8 measures exactly this, alongside the continuous/discrete
-    agreement on non-bipartite graphs. *)
+    Ablation A8 measures exactly this (passing [~lazy_walk:false]
+    explicitly), alongside the continuous/discrete agreement on
+    non-bipartite graphs. *)
 
 type result = {
   broadcast_time : float option;
@@ -22,11 +23,19 @@ type result = {
 }
 
 val run :
+  ?obs:Rumor_obs.Instrument.t ->
+  ?lazy_walk:bool ->
   Rumor_prob.Rng.t ->
   Rumor_graph.Graph.t ->
   source:int ->
   agents:Rumor_agents.Placement.spec ->
   max_time:float ->
   result
-(** [run rng g ~source ~agents ~max_time].
+(** [run rng g ~source ~agents ~max_time].  An omitted [lazy_walk]
+    resolves like {!Meet_exchange.run}: lazy iff the graph is bipartite.
+    Continuous time terminates either way — the default only keeps the walk
+    law aligned with the synchronous protocol's safe default; pass
+    [~lazy_walk:false] to study the pure [33]/[34] model on bipartite
+    graphs.  The model has no rounds, so [obs] receives [on_walker_move]
+    (one per ring) and [on_contact] (one per newly informed agent).
     @raise Invalid_argument on a bad source or non-positive [max_time]. *)

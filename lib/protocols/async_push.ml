@@ -2,6 +2,7 @@ module Rng = Rumor_prob.Rng
 module Dist = Rumor_prob.Dist
 module Graph = Rumor_graph.Graph
 module Event_queue = Rumor_des.Event_queue
+module Obs = Rumor_obs.Instrument
 
 type variant = Async_push | Async_push_pull
 
@@ -11,7 +12,7 @@ type result = {
   informed : int;
 }
 
-let run rng g ~variant ~source ~max_time =
+let run ?obs rng g ~variant ~source ~max_time =
   let n = Graph.n g in
   if source < 0 || source >= n then invalid_arg "Async_push.run: source out of range";
   if not (max_time > 0.0) then invalid_arg "Async_push.run: max_time must be positive";
@@ -38,6 +39,7 @@ let run rng g ~variant ~source ~max_time =
         else begin
           incr rings;
           let v = Graph.random_neighbor g rng u in
+          Obs.contact obs u v;
           (match variant with
           | Async_push ->
               if not informed.(v) then begin

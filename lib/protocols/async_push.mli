@@ -26,6 +26,7 @@ type result = {
 }
 
 val run :
+  ?obs:Rumor_obs.Instrument.t ->
   Rumor_prob.Rng.t ->
   Rumor_graph.Graph.t ->
   variant:variant ->
@@ -33,5 +34,6 @@ val run :
   max_time:float ->
   result
 (** [run rng g ~variant ~source ~max_time] simulates until all vertices are
-    informed or continuous time exceeds [max_time].
+    informed or continuous time exceeds [max_time].  The model has no
+    rounds, so [obs] only receives [on_contact] (one per clock ring).
     @raise Invalid_argument on a bad source or non-positive [max_time]. *)

@@ -1,12 +1,13 @@
 module Rng = Rumor_prob.Rng
 module Graph = Rumor_graph.Graph
+module Obs = Rumor_obs.Instrument
 
 type result = {
   run_result : Run_result.t;
   max_front : int;
 }
 
-let run rng g ~source ~branching ~max_rounds () =
+let run ?obs rng g ~source ~branching ~max_rounds () =
   let n = Graph.n g in
   if source < 0 || source >= n then invalid_arg "Cobra.run: source out of range";
   if branching < 1 then invalid_arg "Cobra.run: branching < 1";
@@ -29,12 +30,14 @@ let run rng g ~source ~branching ~max_rounds () =
   while !visited_count < n && !front_len > 0 && !t < max_rounds do
     incr t;
     let round = !t in
+    Obs.round_start obs round;
     let next_len = ref 0 in
     for i = 0 to !front_len - 1 do
       let u = front.(i) in
       for _ = 1 to branching do
         let v = Graph.random_neighbor g rng u in
         incr contacts;
+        Obs.contact obs u v;
         if stamp.(v) <> round then begin
           stamp.(v) <- round;
           next.(!next_len) <- v;
@@ -49,7 +52,8 @@ let run rng g ~source ~branching ~max_rounds () =
     Array.blit next 0 front 0 !next_len;
     front_len := !next_len;
     if !next_len > !max_front then max_front := !next_len;
-    curve.(round) <- !visited_count
+    curve.(round) <- !visited_count;
+    Obs.round_end obs ~round ~informed:!visited_count ~contacts:!contacts
   done;
   let rounds_run = !t in
   let broadcast_time = if !visited_count = n then Some rounds_run else None in

@@ -18,6 +18,7 @@ type result = {
 }
 
 val run :
+  ?obs:Rumor_obs.Instrument.t ->
   Rumor_prob.Rng.t ->
   Rumor_graph.Graph.t ->
   source:int ->

@@ -1,7 +1,8 @@
 module Graph = Rumor_graph.Graph
 module Walkers = Rumor_agents.Walkers
+module Obs = Rumor_obs.Instrument
 
-let run ?lazy_walk rng g ~source ~agents ~max_rounds () =
+let run ?obs ?lazy_walk rng g ~source ~agents ~max_rounds () =
   let n = Graph.n g in
   if source < 0 || source >= n then invalid_arg "Combined.run: source out of range";
   if max_rounds < 0 then invalid_arg "Combined.run: negative round cap";
@@ -24,6 +25,7 @@ let run ?lazy_walk rng g ~source ~agents ~max_rounds () =
   while !informed_vertices < n && !t < max_rounds do
     incr t;
     let round = !t in
+    Obs.round_start obs round;
     let inform_vertex v =
       if vertex_time.(v) = max_int then begin
         vertex_time.(v) <- round;
@@ -35,17 +37,25 @@ let run ?lazy_walk rng g ~source ~agents ~max_rounds () =
     for u = 0 to n - 1 do
       let v = Graph.random_neighbor g rng u in
       incr contacts;
+      Obs.contact obs u v;
       let u_before = vertex_time.(u) < round and v_before = vertex_time.(v) < round in
       if u_before && not v_before then inform_vertex v
       else if v_before && not u_before then inform_vertex u
     done;
     (* visit-exchange half: agents step, previously informed agents inform
        their vertex, uninformed agents learn from informed vertices *)
-    Walkers.step w;
+    (match obs with
+    | None -> Walkers.step w
+    | Some _ ->
+        Walkers.step_with w (fun a from to_ ->
+            Obs.walker_move obs ~agent:a ~from_:from ~to_:to_));
     for a = 0 to k - 1 do
       if agent_time.(a) < round then begin
         let v = Walkers.position w a in
-        if vertex_time.(v) = max_int then incr contacts;
+        if vertex_time.(v) = max_int then begin
+          incr contacts;
+          Obs.contact obs a v
+        end;
         inform_vertex v
       end
     done;
@@ -53,10 +63,12 @@ let run ?lazy_walk rng g ~source ~agents ~max_rounds () =
       if agent_time.(a) = max_int && vertex_time.(Walkers.position w a) <= round
       then begin
         agent_time.(a) <- round;
-        incr contacts
+        incr contacts;
+        Obs.contact obs (Walkers.position w a) a
       end
     done;
-    curve.(round) <- !informed_vertices
+    curve.(round) <- !informed_vertices;
+    Obs.round_end obs ~round ~informed:!informed_vertices ~contacts:!contacts
   done;
   let rounds_run = !t in
   let broadcast_time = if !informed_vertices = n then Some rounds_run else None in

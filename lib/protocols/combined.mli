@@ -12,6 +12,7 @@
     both families that defeat the individual protocols. *)
 
 val run :
+  ?obs:Rumor_obs.Instrument.t ->
   ?lazy_walk:bool ->
   Rumor_prob.Rng.t ->
   Rumor_graph.Graph.t ->

@@ -3,6 +3,7 @@ module Dist = Rumor_prob.Dist
 module Alias = Rumor_prob.Alias
 module Graph = Rumor_graph.Graph
 module Placement = Rumor_agents.Placement
+module Obs = Rumor_obs.Instrument
 
 type outcome = {
   result : Run_result.t;
@@ -12,7 +13,7 @@ type outcome = {
   extinct : bool;
 }
 
-let run ?(lazy_walk = false) rng g ~source ~agents ~churn ~replace ~max_rounds () =
+let run ?(lazy_walk = false) ?obs rng g ~source ~agents ~churn ~replace ~max_rounds () =
   let n = Graph.n g in
   if source < 0 || source >= n then
     invalid_arg "Dynamic_visit_exchange.run: source out of range";
@@ -41,6 +42,7 @@ let run ?(lazy_walk = false) rng g ~source ~agents ~churn ~replace ~max_rounds (
   while (not !extinct) && !informed_vertices < n && !t < max_rounds do
     incr t;
     let round = !t in
+    Obs.round_start obs round;
     (* deaths, then births at the stationary distribution *)
     if churn > 0.0 then begin
       Agent_pool.iter_alive p (fun slot ->
@@ -60,9 +62,12 @@ let run ?(lazy_walk = false) rng g ~source ~agents ~churn ~replace ~max_rounds (
     else begin
       (* walk step *)
       Agent_pool.iter_alive p (fun slot ->
-          if not (lazy_walk && Rng.bool rng) then
-            Agent_pool.set_position p slot
-              (Graph.random_neighbor g rng (Agent_pool.position p slot)));
+          let u = Agent_pool.position p slot in
+          let v =
+            if lazy_walk && Rng.bool rng then u else Graph.random_neighbor g rng u
+          in
+          if v <> u then Agent_pool.set_position p slot v;
+          Obs.walker_move obs ~agent:slot ~from_:u ~to_:v);
       (* previously informed agents inform their vertex *)
       Agent_pool.iter_alive p (fun slot ->
           if Agent_pool.informed_at p slot < round then begin
@@ -70,7 +75,8 @@ let run ?(lazy_walk = false) rng g ~source ~agents ~churn ~replace ~max_rounds (
             if vertex_time.(v) = max_int then begin
               vertex_time.(v) <- round;
               incr informed_vertices;
-              incr contacts
+              incr contacts;
+              Obs.contact obs slot v
             end
           end);
       (* uninformed agents learn from informed vertices *)
@@ -80,10 +86,12 @@ let run ?(lazy_walk = false) rng g ~source ~agents ~churn ~replace ~max_rounds (
             && vertex_time.(Agent_pool.position p slot) <= round
           then begin
             Agent_pool.set_informed_at p slot round;
-            incr contacts
+            incr contacts;
+            Obs.contact obs (Agent_pool.position p slot) slot
           end)
     end;
-    curve.(round) <- !informed_vertices
+    curve.(round) <- !informed_vertices;
+    Obs.round_end obs ~round ~informed:!informed_vertices ~contacts:!contacts
   done;
   let rounds_run = !t in
   let broadcast_time = if !informed_vertices = n then Some rounds_run else None in

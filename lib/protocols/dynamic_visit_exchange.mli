@@ -25,6 +25,7 @@ type outcome = {
 
 val run :
   ?lazy_walk:bool ->
+  ?obs:Rumor_obs.Instrument.t ->
   Rumor_prob.Rng.t ->
   Rumor_graph.Graph.t ->
   source:int ->

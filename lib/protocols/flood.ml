@@ -1,6 +1,7 @@
 module Graph = Rumor_graph.Graph
+module Obs = Rumor_obs.Instrument
 
-let run g ~source ~max_rounds () =
+let run ?obs g ~source ~max_rounds () =
   let n = Graph.n g in
   if source < 0 || source >= n then invalid_arg "Flood.run: source out of range";
   if max_rounds < 0 then invalid_arg "Flood.run: negative round cap";
@@ -14,11 +15,13 @@ let run g ~source ~max_rounds () =
   let t = ref 0 in
   while !count < n && !frontier <> [] && !t < max_rounds do
     incr t;
+    Obs.round_start obs !t;
     let next = ref [] in
     List.iter
       (fun u ->
         Graph.iter_neighbors g u (fun v ->
             incr contacts;
+            Obs.contact obs u v;
             if not informed.(v) then begin
               informed.(v) <- true;
               incr count;
@@ -26,7 +29,8 @@ let run g ~source ~max_rounds () =
             end))
       !frontier;
     frontier := !next;
-    curve.(!t) <- !count
+    curve.(!t) <- !count;
+    Obs.round_end obs ~round:!t ~informed:!count ~contacts:!contacts
   done;
   let rounds_run = !t in
   let broadcast_time = if !count = n then Some rounds_run else None in

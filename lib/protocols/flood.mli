@@ -9,6 +9,11 @@
     the whole run.  It is the natural baseline for the time floor. *)
 
 val run :
-  Rumor_graph.Graph.t -> source:int -> max_rounds:int -> unit -> Run_result.t
+  ?obs:Rumor_obs.Instrument.t ->
+  Rumor_graph.Graph.t ->
+  source:int ->
+  max_rounds:int ->
+  unit ->
+  Run_result.t
 (** [run g ~source ~max_rounds ()].  No randomness is involved.  Contacts
     count one per directed edge out of each round's frontier. *)

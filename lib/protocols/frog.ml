@@ -1,12 +1,13 @@
 module Rng = Rumor_prob.Rng
 module Graph = Rumor_graph.Graph
+module Obs = Rumor_obs.Instrument
 
 type result = {
   run_result : Run_result.t;
   awake_curve : int array;
 }
 
-let run ?(frogs_per_vertex = 1) rng g ~source ~max_rounds () =
+let run ?(frogs_per_vertex = 1) ?obs rng g ~source ~max_rounds () =
   let n = Graph.n g in
   if source < 0 || source >= n then invalid_arg "Frog.run: source out of range";
   if frogs_per_vertex < 1 then invalid_arg "Frog.run: frogs_per_vertex < 1";
@@ -38,18 +39,25 @@ let run ?(frogs_per_vertex = 1) rng g ~source ~max_rounds () =
   let t = ref 0 in
   while !visited_count < n && !t < max_rounds do
     incr t;
+    Obs.round_start obs !t;
     let moving = !awake in
     for a = 0 to moving - 1 do
-      let v = Graph.random_neighbor g rng pos.(a) in
+      let u = pos.(a) in
+      let v = Graph.random_neighbor g rng u in
       pos.(a) <- v;
+      Obs.walker_move obs ~agent:a ~from_:u ~to_:v;
       if not visited.(v) then begin
         visited.(v) <- true;
         incr visited_count
       end;
-      if sleeping.(v) > 0 then wake_vertex v
+      if sleeping.(v) > 0 then begin
+        Obs.contact obs a v;
+        wake_vertex v
+      end
     done;
     curve.(!t) <- !visited_count;
-    awake_hist.(!t) <- !awake
+    awake_hist.(!t) <- !awake;
+    Obs.round_end obs ~round:!t ~informed:!visited_count ~contacts:!contacts
   done;
   let rounds_run = !t in
   let broadcast_time = if !visited_count = n then Some rounds_run else None in

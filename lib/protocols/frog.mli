@@ -20,6 +20,7 @@ type result = {
 
 val run :
   ?frogs_per_vertex:int ->
+  ?obs:Rumor_obs.Instrument.t ->
   Rumor_prob.Rng.t ->
   Rumor_graph.Graph.t ->
   source:int ->

@@ -1,6 +1,7 @@
 module Graph = Rumor_graph.Graph
 module Placement = Rumor_agents.Placement
 module Walkers = Rumor_agents.Walkers
+module Obs = Rumor_obs.Instrument
 
 type detailed = {
   result : Run_result.t;
@@ -8,12 +9,32 @@ type detailed = {
   first_pickup : int option;
 }
 
-let run_detailed ?traffic ?lazy_walk rng g ~source ~agents ~max_rounds () =
+let step_walkers ?traffic ?obs w =
+  match (traffic, obs) with
+  | None, None -> Walkers.step w
+  | _ ->
+      Walkers.step_with w (fun a from to_ ->
+          (match traffic with
+          | Some tr when from <> to_ -> Traffic.record tr from to_
+          | _ -> ());
+          Obs.walker_move obs ~agent:a ~from_:from ~to_:to_)
+
+let run_detailed ?traffic ?obs ?lazy_walk rng g ~source ~agents ~max_rounds () =
   let n = Graph.n g in
   if source < 0 || source >= n then
     invalid_arg "Meet_exchange.run: source out of range";
   if max_rounds < 0 then invalid_arg "Meet_exchange.run: negative round cap";
-  let w = Walkers.of_spec ?lazy_walk rng g agents in
+  (* Unsafe-default fix: on a bipartite graph the non-lazy process can
+     deadlock (walks in opposite parity classes never meet), so an omitted
+     [lazy_walk] resolves by testing bipartiteness — the same Lazy_auto
+     convention as Rumor_sim.Protocol.  Pass [~lazy_walk:false] explicitly
+     to study the parity trap. *)
+  let lazy_walk =
+    match lazy_walk with
+    | Some b -> b
+    | None -> Rumor_graph.Algo.is_bipartite g
+  in
+  let w = Walkers.of_spec ~lazy_walk rng g agents in
   let k = Walkers.agent_count w in
   let agent_time = Array.make k max_int in
   let buckets = Walkers.Buckets.create w in
@@ -24,7 +45,8 @@ let run_detailed ?traffic ?lazy_walk rng g ~source ~agents ~max_rounds () =
     if Walkers.position w a = source then begin
       agent_time.(a) <- 0;
       incr informed;
-      incr contacts
+      incr contacts;
+      Obs.contact obs source a
     end
   done;
   let source_active = ref (!informed = 0) in
@@ -35,11 +57,8 @@ let run_detailed ?traffic ?lazy_walk rng g ~source ~agents ~max_rounds () =
   while !informed < k && !t < max_rounds do
     incr t;
     let round = !t in
-    (match traffic with
-    | None -> Walkers.step w
-    | Some tr ->
-        Walkers.step_with w (fun _ from to_ ->
-            if from <> to_ then Traffic.record tr from to_));
+    Obs.round_start obs round;
+    step_walkers ?traffic ?obs w;
     Walkers.Buckets.refresh buckets w;
     (* source hand-off: the first agents to visit s become informed (all of
        them if simultaneous); they start spreading only next round *)
@@ -48,7 +67,8 @@ let run_detailed ?traffic ?lazy_walk rng g ~source ~agents ~max_rounds () =
           if agent_time.(a) = max_int then begin
             agent_time.(a) <- round;
             incr informed;
-            incr contacts
+            incr contacts;
+            Obs.contact obs source a
           end);
       source_active := false;
       first_pickup := Some round
@@ -68,11 +88,13 @@ let run_detailed ?traffic ?lazy_walk rng g ~source ~agents ~max_rounds () =
               if agent_time.(a) = max_int then begin
                 agent_time.(a) <- round;
                 incr informed;
-                incr contacts
+                incr contacts;
+                Obs.contact obs v a
               end)
       end
     done;
-    curve.(round) <- !informed
+    curve.(round) <- !informed;
+    Obs.round_end obs ~round ~informed:!informed ~contacts:!contacts
   done;
   let rounds_run = !t in
   let broadcast_time = if !informed = k then Some rounds_run else None in
@@ -84,9 +106,8 @@ let run_detailed ?traffic ?lazy_walk rng g ~source ~agents ~max_rounds () =
   in
   { result; agent_time; first_pickup = !first_pickup }
 
-let run ?traffic ?lazy_walk rng g ~source ~agents ~max_rounds () =
-  (run_detailed ?traffic ?lazy_walk rng g ~source ~agents ~max_rounds ()).result
+let run ?traffic ?obs ?lazy_walk rng g ~source ~agents ~max_rounds () =
+  (run_detailed ?traffic ?obs ?lazy_walk rng g ~source ~agents ~max_rounds ()).result
 
 let run_auto ?traffic rng g ~source ~agents ~max_rounds () =
-  let lazy_walk = Rumor_graph.Algo.is_bipartite g in
-  run ?traffic ~lazy_walk rng g ~source ~agents ~max_rounds ()
+  run ?traffic rng g ~source ~agents ~max_rounds ()

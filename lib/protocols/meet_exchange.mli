@@ -9,11 +9,16 @@
     all {e agents} are informed.
 
     On bipartite graphs the non-lazy process can fail to complete (walks in
-    opposite parity classes never meet); pass [~lazy_walk:true] as the paper
-    does, or use {!run_auto} which decides by testing bipartiteness. *)
+    opposite parity classes never meet), where the paper requires lazy walks
+    for an a.s.-finite broadcast time.  An omitted [lazy_walk] therefore
+    resolves automatically: lazy iff {!Rumor_graph.Algo.is_bipartite} holds
+    (the [Lazy_auto] convention of [Rumor_sim.Protocol]).  Pass
+    [~lazy_walk:false] explicitly to opt back into the unsafe non-lazy
+    process, e.g. to exhibit the parity trap. *)
 
 val run :
   ?traffic:Traffic.t ->
+  ?obs:Rumor_obs.Instrument.t ->
   ?lazy_walk:bool ->
   Rumor_prob.Rng.t ->
   Rumor_graph.Graph.t ->
@@ -24,7 +29,9 @@ val run :
   Run_result.t
 (** [run rng g ~source ~agents ~max_rounds ()].  The informed curve counts
     informed {e agents}.  Contacts count one per agent→agent transfer plus
-    one per source→agent transfer. *)
+    one per source→agent transfer.  [lazy_walk] defaults to bipartiteness
+    of [g] (see above); [obs] receives round, contact and walker-move
+    hooks. *)
 
 val run_auto :
   ?traffic:Traffic.t ->
@@ -35,8 +42,8 @@ val run_auto :
   max_rounds:int ->
   unit ->
   Run_result.t
-(** Like {!run}, with [lazy_walk] set automatically to whether the graph is
-    bipartite. *)
+(** Alias of {!run} with [lazy_walk] omitted, kept for compatibility: since
+    the default now resolves by bipartiteness, [run_auto = run]. *)
 
 (** Detailed outcome with per-agent informing rounds. *)
 type detailed = {
@@ -47,6 +54,7 @@ type detailed = {
 
 val run_detailed :
   ?traffic:Traffic.t ->
+  ?obs:Rumor_obs.Instrument.t ->
   ?lazy_walk:bool ->
   Rumor_prob.Rng.t ->
   Rumor_graph.Graph.t ->

@@ -1,5 +1,6 @@
 module Graph = Rumor_graph.Graph
 module Walkers = Rumor_agents.Walkers
+module Obs = Rumor_obs.Instrument
 
 type injection = { rumor_source : int; start_round : int }
 
@@ -9,7 +10,7 @@ type result = {
   all_done : bool;
 }
 
-let run ?lazy_walk rng g ~injections ~agents ~max_rounds =
+let run ?lazy_walk ?obs rng g ~injections ~agents ~max_rounds =
   let n = Graph.n g in
   let r = Array.length injections in
   if r = 0 then invalid_arg "Multi_rumor.run: no injections";
@@ -59,21 +60,39 @@ let run ?lazy_walk rng g ~injections ~agents ~max_rounds =
   let latest_start =
     Array.fold_left (fun acc inj -> max acc inj.start_round) 0 injections
   in
+  let contacts = ref 0 in
+  (* informed parties for the round-end hook: (vertex, rumor) pairs known *)
+  let informed_pairs () = Array.fold_left ( + ) 0 counts in
   let t = ref 0 in
   while (!remaining > 0 || !t < latest_start) && !t < max_rounds do
     incr t;
     let round = !t in
-    Walkers.step w;
+    Obs.round_start obs round;
+    (match obs with
+    | None -> Walkers.step w
+    | Some _ ->
+        Walkers.step_with w (fun a from to_ ->
+            Obs.walker_move obs ~agent:a ~from_:from ~to_:to_));
     (* rumors the agents held before this round flow into their vertices *)
     for a = 0 to k - 1 do
       let v = Walkers.position w a in
-      if amask.(a) land lnot vmask.(v) <> 0 then give_vertex v amask.(a) round
+      if amask.(a) land lnot vmask.(v) <> 0 then begin
+        give_vertex v amask.(a) round;
+        incr contacts;
+        Obs.contact obs a v
+      end
     done;
     inject round;
     (* agents pick up everything their current vertex now knows *)
     for a = 0 to k - 1 do
-      amask.(a) <- amask.(a) lor vmask.(Walkers.position w a)
-    done
+      let v = Walkers.position w a in
+      if vmask.(v) land lnot amask.(a) <> 0 then begin
+        incr contacts;
+        Obs.contact obs v a
+      end;
+      amask.(a) <- amask.(a) lor vmask.(v)
+    done;
+    Obs.round_end obs ~round ~informed:(informed_pairs ()) ~contacts:!contacts
   done;
   let per_rumor_time =
     Array.mapi

@@ -25,6 +25,7 @@ type result = {
 
 val run :
   ?lazy_walk:bool ->
+  ?obs:Rumor_obs.Instrument.t ->
   Rumor_prob.Rng.t ->
   Rumor_graph.Graph.t ->
   injections:injection array ->

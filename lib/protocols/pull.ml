@@ -1,7 +1,8 @@
 module Rng = Rumor_prob.Rng
 module Graph = Rumor_graph.Graph
+module Obs = Rumor_obs.Instrument
 
-let run ?traffic rng g ~source ~max_rounds () =
+let run ?traffic ?obs rng g ~source ~max_rounds () =
   let n = Graph.n g in
   if source < 0 || source >= n then invalid_arg "Pull.run: source out of range";
   if max_rounds < 0 then invalid_arg "Pull.run: negative round cap";
@@ -15,10 +16,12 @@ let run ?traffic rng g ~source ~max_rounds () =
   while !count < n && !t < max_rounds do
     incr t;
     let round = !t in
+    Obs.round_start obs round;
     for u = 0 to n - 1 do
       if informed_round.(u) > round then begin
         let v = Graph.random_neighbor g rng u in
         incr contacts;
+        Obs.contact obs u v;
         (match traffic with Some tr -> Traffic.record tr u v | None -> ());
         if informed_round.(v) < round then begin
           informed_round.(u) <- round;
@@ -26,7 +29,8 @@ let run ?traffic rng g ~source ~max_rounds () =
         end
       end
     done;
-    curve.(round) <- !count
+    curve.(round) <- !count;
+    Obs.round_end obs ~round ~informed:!count ~contacts:!contacts
   done;
   let rounds_run = !t in
   let broadcast_time = if !count = n then Some rounds_run else None in

@@ -1,10 +1,11 @@
 module Rng = Rumor_prob.Rng
 module Graph = Rumor_graph.Graph
+module Obs = Rumor_obs.Instrument
 
 (* Shared engine: simulates push and fills [tau] with per-vertex informing
    rounds.  Work per round is O(number of vertices informed in previous
    rounds), using a dense array of informed vertices in informing order. *)
-let simulate ?traffic ?(failure_prob = 0.0) rng g ~source ~max_rounds tau =
+let simulate ?traffic ?obs ?(failure_prob = 0.0) rng g ~source ~max_rounds tau =
   let n = Graph.n g in
   if source < 0 || source >= n then invalid_arg "Push.run: source out of range";
   if max_rounds < 0 then invalid_arg "Push.run: negative round cap";
@@ -23,11 +24,13 @@ let simulate ?traffic ?(failure_prob = 0.0) rng g ~source ~max_rounds tau =
   let t = ref 0 in
   while !count < n && !t < max_rounds do
     incr t;
+    Obs.round_start obs !t;
     let active = !count in
     for i = 0 to active - 1 do
       let u = order.(i) in
       let v = Graph.random_neighbor g rng u in
       incr contacts;
+      Obs.contact obs u v;
       (match traffic with Some tr -> Traffic.record tr u v | None -> ());
       let delivered = failure_prob = 0.0 || not (Rng.bernoulli rng failure_prob) in
       if delivered && tau.(v) = max_int then begin
@@ -36,7 +39,8 @@ let simulate ?traffic ?(failure_prob = 0.0) rng g ~source ~max_rounds tau =
         incr count
       end
     done;
-    curve.(!t) <- !count
+    curve.(!t) <- !count;
+    Obs.round_end obs ~round:!t ~informed:!count ~contacts:!contacts
   done;
   let rounds_run = !t in
   let broadcast_time = if !count = n then Some rounds_run else None in
@@ -44,9 +48,9 @@ let simulate ?traffic ?(failure_prob = 0.0) rng g ~source ~max_rounds tau =
     ~informed_curve:(Array.sub curve 0 (rounds_run + 1))
     ~contacts:!contacts ()
 
-let run ?traffic ?failure_prob rng g ~source ~max_rounds () =
+let run ?traffic ?obs ?failure_prob rng g ~source ~max_rounds () =
   let tau = Array.make (Graph.n g) max_int in
-  simulate ?traffic ?failure_prob rng g ~source ~max_rounds tau
+  simulate ?traffic ?obs ?failure_prob rng g ~source ~max_rounds tau
 
 let informed_times rng g ~source ~max_rounds =
   let tau = Array.make (Graph.n g) max_int in

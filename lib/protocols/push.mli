@@ -12,6 +12,7 @@
 
 val run :
   ?traffic:Traffic.t ->
+  ?obs:Rumor_obs.Instrument.t ->
   ?failure_prob:float ->
   Rumor_prob.Rng.t ->
   Rumor_graph.Graph.t ->
@@ -21,7 +22,8 @@ val run :
   Run_result.t
 (** [run rng g ~source ~max_rounds ()] simulates until broadcast or until
     [max_rounds] rounds have run.  [traffic] accumulates one use per push
-    contact.
+    contact.  [obs] receives round start/end and per-contact hooks (see
+    {!Rumor_obs.Instrument}).
 
     [failure_prob] (default 0) drops each transmission independently with
     that probability — the random-failure model of Elsässer–Sauerwald [22],

@@ -1,7 +1,8 @@
 module Rng = Rumor_prob.Rng
 module Graph = Rumor_graph.Graph
+module Obs = Rumor_obs.Instrument
 
-let run ?traffic rng g ~source ~max_rounds () =
+let run ?traffic ?obs rng g ~source ~max_rounds () =
   let n = Graph.n g in
   if source < 0 || source >= n then invalid_arg "Push_pull.run: source out of range";
   if max_rounds < 0 then invalid_arg "Push_pull.run: negative round cap";
@@ -18,9 +19,11 @@ let run ?traffic rng g ~source ~max_rounds () =
   while !count < n && !t < max_rounds do
     incr t;
     let round = !t in
+    Obs.round_start obs round;
     for u = 0 to n - 1 do
       let v = Graph.random_neighbor g rng u in
       incr contacts;
+      Obs.contact obs u v;
       (match traffic with Some tr -> Traffic.record tr u v | None -> ());
       let u_informed = informed_round.(u) < round in
       let v_informed = informed_round.(v) < round in
@@ -33,7 +36,8 @@ let run ?traffic rng g ~source ~max_rounds () =
         incr count
       end
     done;
-    curve.(round) <- !count
+    curve.(round) <- !count;
+    Obs.round_end obs ~round ~informed:!count ~contacts:!contacts
   done;
   let rounds_run = !t in
   let broadcast_time = if !count = n then Some rounds_run else None in

@@ -9,6 +9,7 @@
 
 val run :
   ?traffic:Traffic.t ->
+  ?obs:Rumor_obs.Instrument.t ->
   Rumor_prob.Rng.t ->
   Rumor_graph.Graph.t ->
   source:int ->

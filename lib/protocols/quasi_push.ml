@@ -1,7 +1,8 @@
 module Rng = Rumor_prob.Rng
 module Graph = Rumor_graph.Graph
+module Obs = Rumor_obs.Instrument
 
-let run rng g ~source ~max_rounds () =
+let run ?obs rng g ~source ~max_rounds () =
   let n = Graph.n g in
   if source < 0 || source >= n then invalid_arg "Quasi_push.run: source out of range";
   if max_rounds < 0 then invalid_arg "Quasi_push.run: negative round cap";
@@ -22,6 +23,7 @@ let run rng g ~source ~max_rounds () =
   let t = ref 0 in
   while !count < n && !t < max_rounds do
     incr t;
+    Obs.round_start obs !t;
     let active = !count in
     for i = 0 to active - 1 do
       let u = order.(i) in
@@ -29,13 +31,15 @@ let run rng g ~source ~max_rounds () =
       let v = Graph.neighbor g u (cursor.(u) mod d) in
       cursor.(u) <- cursor.(u) + 1;
       incr contacts;
+      Obs.contact obs u v;
       if not informed.(v) then begin
         inform v;
         order.(!count) <- v;
         incr count
       end
     done;
-    curve.(!t) <- !count
+    curve.(!t) <- !count;
+    Obs.round_end obs ~round:!t ~informed:!count ~contacts:!contacts
   done;
   let rounds_run = !t in
   let broadcast_time = if !count = n then Some rounds_run else None in

@@ -12,6 +12,7 @@
     Ablation R3 compares it to fully random push across regular families. *)
 
 val run :
+  ?obs:Rumor_obs.Instrument.t ->
   Rumor_prob.Rng.t ->
   Rumor_graph.Graph.t ->
   source:int ->

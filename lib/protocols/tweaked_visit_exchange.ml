@@ -1,6 +1,7 @@
 module Rng = Rumor_prob.Rng
 module Graph = Rumor_graph.Graph
 module Placement = Rumor_agents.Placement
+module Obs = Rumor_obs.Instrument
 
 type outcome = {
   result : Run_result.t;
@@ -12,7 +13,7 @@ type outcome = {
 (* Shared visit-exchange engine over an Agent_pool, parameterised by a clamp
    hook invoked with the round number: [clamp ~round] may add or remove
    agents (returning how many it touched) and must keep [occ] consistent. *)
-let engine ?(lazy_walk = false) rng g ~source ~agents ~max_rounds ~clamp () =
+let engine ?(lazy_walk = false) ?obs rng g ~source ~agents ~max_rounds ~clamp () =
   let n = Graph.n g in
   if source < 0 || source >= n then
     invalid_arg "Tweaked_visit_exchange: source out of range";
@@ -50,21 +51,26 @@ let engine ?(lazy_walk = false) rng g ~source ~agents ~max_rounds ~clamp () =
   while !informed_vertices < n && !t < max_rounds && Agent_pool.alive p > 0 do
     incr t;
     let round = !t in
+    Obs.round_start obs round;
     Agent_pool.iter_alive p (fun slot ->
-        if not (lazy_walk && Rng.bool rng) then begin
-          let u = Agent_pool.position p slot in
-          let v = Graph.random_neighbor g rng u in
+        let u = Agent_pool.position p slot in
+        let v =
+          if lazy_walk && Rng.bool rng then u else Graph.random_neighbor g rng u
+        in
+        if v <> u then begin
           occ.(u) <- occ.(u) - 1;
           occ.(v) <- occ.(v) + 1;
           Agent_pool.set_position p slot v
-        end);
+        end;
+        Obs.walker_move obs ~agent:slot ~from_:u ~to_:v);
     Agent_pool.iter_alive p (fun slot ->
         if Agent_pool.informed_at p slot < round then begin
           let v = Agent_pool.position p slot in
           if vertex_time.(v) = max_int then begin
             vertex_time.(v) <- round;
             incr informed_vertices;
-            incr contacts
+            incr contacts;
+            Obs.contact obs slot v
           end
         end);
     Agent_pool.iter_alive p (fun slot ->
@@ -73,10 +79,12 @@ let engine ?(lazy_walk = false) rng g ~source ~agents ~max_rounds ~clamp () =
           && vertex_time.(Agent_pool.position p slot) <= round
         then begin
           Agent_pool.set_informed_at p slot round;
-          incr contacts
+          incr contacts;
+          Obs.contact obs (Agent_pool.position p slot) slot
         end);
     apply_clamp round;
-    curve.(round) <- !informed_vertices
+    curve.(round) <- !informed_vertices;
+    Obs.round_end obs ~round ~informed:!informed_vertices ~contacts:!contacts
   done;
   let rounds_run = !t in
   let broadcast_time = if !informed_vertices = n then Some rounds_run else None in
@@ -95,7 +103,7 @@ let neighborhood_load g occ u = Graph.fold_neighbors g u (fun acc v -> acc + occ
 (* Eq. (3): remove agents until every neighborhood holds at most
    gamma * deg(u) agents.  Removals only decrease loads, so one pass over
    the vertices suffices. *)
-let run_t_visit_exchange ?lazy_walk rng g ~source ~agents ~gamma ~max_rounds () =
+let run_t_visit_exchange ?lazy_walk ?obs rng g ~source ~agents ~gamma ~max_rounds () =
   if not (gamma > 0.0) then invalid_arg "run_t_visit_exchange: gamma <= 0";
   let n = Graph.n g in
   let clamp p occ _vertex_time ~round:_ =
@@ -122,13 +130,13 @@ let run_t_visit_exchange ?lazy_walk rng g ~source ~agents ~gamma ~max_rounds () 
     done;
     !removed
   in
-  engine ?lazy_walk rng g ~source ~agents ~max_rounds ~clamp ()
+  engine ?lazy_walk ?obs rng g ~source ~agents ~max_rounds ~clamp ()
 
 (* Eq. (10): before each odd round ensure every neighborhood holds at least
    |A| * deg(u) / (2n) agents; added agents adopt the informed state of the
    vertex they are placed on.  Additions only increase loads, so one pass
    suffices. *)
-let run_r_visit_exchange ?lazy_walk rng g ~source ~agents ~max_rounds () =
+let run_r_visit_exchange ?lazy_walk ?obs rng g ~source ~agents ~max_rounds () =
   let n = Graph.n g in
   let base = Placement.count agents g in
   let clamp p occ vertex_time ~round =
@@ -158,4 +166,4 @@ let run_r_visit_exchange ?lazy_walk rng g ~source ~agents ~max_rounds () =
       !added
     end
   in
-  engine ?lazy_walk rng g ~source ~agents ~max_rounds ~clamp ()
+  engine ?lazy_walk ?obs rng g ~source ~agents ~max_rounds ~clamp ()

@@ -28,6 +28,7 @@ type outcome = {
 
 val run_t_visit_exchange :
   ?lazy_walk:bool ->
+  ?obs:Rumor_obs.Instrument.t ->
   Rumor_prob.Rng.t ->
   Rumor_graph.Graph.t ->
   source:int ->
@@ -42,6 +43,7 @@ val run_t_visit_exchange :
 
 val run_r_visit_exchange :
   ?lazy_walk:bool ->
+  ?obs:Rumor_obs.Instrument.t ->
   Rumor_prob.Rng.t ->
   Rumor_graph.Graph.t ->
   source:int ->

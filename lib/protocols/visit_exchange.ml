@@ -1,6 +1,7 @@
 module Graph = Rumor_graph.Graph
 module Placement = Rumor_agents.Placement
 module Walkers = Rumor_agents.Walkers
+module Obs = Rumor_obs.Instrument
 
 type detailed = {
   result : Run_result.t;
@@ -8,7 +9,19 @@ type detailed = {
   agent_time : int array;
 }
 
-let run_detailed ?traffic ?lazy_walk rng g ~source ~agents ~max_rounds () =
+(* One synchronized walker round, reporting to traffic and/or instrument
+   hooks only when either is attached. *)
+let step_walkers ?traffic ?obs w =
+  match (traffic, obs) with
+  | None, None -> Walkers.step w
+  | _ ->
+      Walkers.step_with w (fun a from to_ ->
+          (match traffic with
+          | Some tr when from <> to_ -> Traffic.record tr from to_
+          | _ -> ());
+          Obs.walker_move obs ~agent:a ~from_:from ~to_:to_)
+
+let run_detailed ?traffic ?obs ?lazy_walk rng g ~source ~agents ~max_rounds () =
   let n = Graph.n g in
   if source < 0 || source >= n then
     invalid_arg "Visit_exchange.run: source out of range";
@@ -36,12 +49,9 @@ let run_detailed ?traffic ?lazy_walk rng g ~source ~agents ~max_rounds () =
   while (!informed_vertices < n || !all_agents_round = None) && !t < max_rounds do
     incr t;
     let round = !t in
+    Obs.round_start obs round;
     (* phase 1: all agents step in parallel *)
-    (match traffic with
-    | None -> Walkers.step w
-    | Some tr ->
-        Walkers.step_with w (fun _ from to_ ->
-            if from <> to_ then Traffic.record tr from to_));
+    step_walkers ?traffic ?obs w;
     (* phase 2: agents informed in a previous round inform their vertex.
        agent_time values set so far are all < round, so no snapshot is
        needed. *)
@@ -51,7 +61,8 @@ let run_detailed ?traffic ?lazy_walk rng g ~source ~agents ~max_rounds () =
         if vertex_time.(v) = max_int then begin
           vertex_time.(v) <- round;
           incr informed_vertices;
-          incr contacts
+          incr contacts;
+          Obs.contact obs a v
         end
       end
     done;
@@ -62,12 +73,14 @@ let run_detailed ?traffic ?lazy_walk rng g ~source ~agents ~max_rounds () =
       then begin
         agent_time.(a) <- round;
         incr informed_agents;
-        incr contacts
+        incr contacts;
+        Obs.contact obs (Walkers.position w a) a
       end
     done;
     if !informed_agents = k && !all_agents_round = None then
       all_agents_round := Some round;
-    curve.(round) <- !informed_vertices
+    curve.(round) <- !informed_vertices;
+    Obs.round_end obs ~round ~informed:!informed_vertices ~contacts:!contacts
   done;
   let rounds_run = !t in
   let broadcast_time =
@@ -87,5 +100,5 @@ let run_detailed ?traffic ?lazy_walk rng g ~source ~agents ~max_rounds () =
   in
   { result; vertex_time; agent_time }
 
-let run ?traffic ?lazy_walk rng g ~source ~agents ~max_rounds () =
-  (run_detailed ?traffic ?lazy_walk rng g ~source ~agents ~max_rounds ()).result
+let run ?traffic ?obs ?lazy_walk rng g ~source ~agents ~max_rounds () =
+  (run_detailed ?traffic ?obs ?lazy_walk rng g ~source ~agents ~max_rounds ()).result

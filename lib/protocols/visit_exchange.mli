@@ -15,6 +15,7 @@
 
 val run :
   ?traffic:Traffic.t ->
+  ?obs:Rumor_obs.Instrument.t ->
   ?lazy_walk:bool ->
   Rumor_prob.Rng.t ->
   Rumor_graph.Graph.t ->
@@ -26,7 +27,8 @@ val run :
 (** [run rng g ~source ~agents ~max_rounds ()].  [lazy_walk] (default
     false) makes every walk stay put with probability 1/2 each round.
     Contacts count one per agent–vertex information transfer (in either
-    direction). *)
+    direction).  [obs] additionally receives one [on_walker_move] per agent
+    step. *)
 
 (** Full outcome including per-vertex and per-agent informing times, used
     by the coupling experiments and the meet-exchange comparison. *)
@@ -38,6 +40,7 @@ type detailed = {
 
 val run_detailed :
   ?traffic:Traffic.t ->
+  ?obs:Rumor_obs.Instrument.t ->
   ?lazy_walk:bool ->
   Rumor_prob.Rng.t ->
   Rumor_graph.Graph.t ->

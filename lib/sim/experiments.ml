@@ -28,8 +28,19 @@ let reps profile = pick profile ~quick:5 ~full:15
 (* Decorrelated per-cell seeds so adding a column does not shift others. *)
 let cell_seed seed i j = (seed * 1_000_003) + (i * 7919) + j
 
+(* Dynamically-scoped metrics sink: [with_metrics_sink] installs it around a
+   whole suite run so every measured cell emits run records without
+   threading a sink through each experiment closure. *)
+let metrics_sink : Rumor_obs.Run_record.sink option ref = ref None
+
+let with_metrics_sink sink f =
+  let saved = !metrics_sink in
+  metrics_sink := Some sink;
+  Fun.protect ~finally:(fun () -> metrics_sink := saved) f
+
 let measure_cell ~seed ~reps ~graph ~spec ~max_rounds =
-  Replicate.broadcast_times ~seed ~reps ~graph ~spec ~max_rounds
+  Replicate.broadcast_times ?sink:!metrics_sink ~seed ~reps ~graph ~spec
+    ~max_rounds ()
 
 let time_cell (m : Replicate.measurement) =
   let s = m.summary in
@@ -1527,9 +1538,11 @@ let a8_run profile ~seed =
         for _ = 1 to reps do
           let rng = Rng.split master in
           let g, source = graph rng in
+          (* ~lazy_walk:false on purpose: A8 studies the pure continuous
+             process, where parity needs no lazy fix. *)
           (match
-             (P.Async_meet_exchange.run rng g ~source ~agents:(Placement.Linear alpha)
-                ~max_time:1e6)
+             (P.Async_meet_exchange.run ~lazy_walk:false rng g ~source
+                ~agents:(Placement.Linear alpha) ~max_time:1e6)
                .P.Async_meet_exchange.broadcast_time
            with
           | Some t -> Stats.add cont t
@@ -1669,7 +1682,7 @@ let find id =
   let id = String.uppercase_ascii id in
   List.find_opt (fun e -> String.uppercase_ascii e.id = id) all
 
-let run_all ?ids profile ~seed =
+let run_all ?ids ?metrics profile ~seed =
   let selected =
     match ids with
     | None -> all
@@ -1681,4 +1694,14 @@ let run_all ?ids profile ~seed =
             | None -> invalid_arg (Printf.sprintf "Experiments.run_all: unknown id %s" id))
           wanted
   in
-  List.map (fun e -> (e, e.run profile ~seed)) selected
+  let run_one e =
+    match metrics with
+    | None -> e.run profile ~seed
+    | Some sink ->
+        (* label each record with the experiment id, which is more useful
+           downstream than the anonymous per-cell graph closures *)
+        with_metrics_sink
+          (fun r -> sink { r with Rumor_obs.Run_record.graph = e.id })
+          (fun () -> e.run profile ~seed)
+  in
+  List.map (fun e -> (e, run_one e)) selected

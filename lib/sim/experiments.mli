@@ -33,5 +33,19 @@ val all : t list
 val find : string -> t option
 (** Lookup by id, case-insensitive. *)
 
-val run_all : ?ids:string list -> profile -> seed:int -> (t * Table.t list) list
-(** Run the selected (default: all) experiments and collect their tables. *)
+val run_all :
+  ?ids:string list ->
+  ?metrics:Rumor_obs.Run_record.sink ->
+  profile ->
+  seed:int ->
+  (t * Table.t list) list
+(** Run the selected (default: all) experiments and collect their tables.
+    When [metrics] is given, every replicated cell measurement emits one
+    {!Rumor_obs.Run_record.t} to it, with the record's [graph] field set to
+    the experiment id (experiments build their graphs from closures, so the
+    id is the most useful label available). *)
+
+val with_metrics_sink : Rumor_obs.Run_record.sink -> (unit -> 'a) -> 'a
+(** [with_metrics_sink sink f] installs [sink] for the dynamic extent of
+    [f]: every cell measured by any experiment run within emits its run
+    records there.  Restores the previous sink afterwards, even on raise. *)

@@ -50,23 +50,26 @@ let resolve_lazy laziness g =
   | Lazy_on -> true
   | Lazy_auto -> Rumor_graph.Algo.is_bipartite g
 
-let run ?traffic spec rng g ~source ~max_rounds =
+let run ?traffic ?obs spec rng g ~source ~max_rounds =
   match spec with
-  | Push -> P.Push.run ?traffic rng g ~source ~max_rounds ()
-  | Push_pull -> P.Push_pull.run ?traffic rng g ~source ~max_rounds ()
-  | Pull -> P.Pull.run ?traffic rng g ~source ~max_rounds ()
+  | Push -> P.Push.run ?traffic ?obs rng g ~source ~max_rounds ()
+  | Push_pull -> P.Push_pull.run ?traffic ?obs rng g ~source ~max_rounds ()
+  | Pull -> P.Pull.run ?traffic ?obs rng g ~source ~max_rounds ()
   | Visit_exchange { agents; laziness } ->
       let lazy_walk = resolve_lazy laziness g in
-      P.Visit_exchange.run ?traffic ~lazy_walk rng g ~source ~agents ~max_rounds ()
+      P.Visit_exchange.run ?traffic ?obs ~lazy_walk rng g ~source ~agents
+        ~max_rounds ()
   | Meet_exchange { agents; laziness } ->
       let lazy_walk = resolve_lazy laziness g in
-      P.Meet_exchange.run ?traffic ~lazy_walk rng g ~source ~agents ~max_rounds ()
+      P.Meet_exchange.run ?traffic ?obs ~lazy_walk rng g ~source ~agents
+        ~max_rounds ()
   | Combined { agents; laziness } ->
       let lazy_walk = resolve_lazy laziness g in
-      P.Combined.run ~lazy_walk rng g ~source ~agents ~max_rounds ()
-  | Quasi_push -> P.Quasi_push.run rng g ~source ~max_rounds ()
+      P.Combined.run ?obs ~lazy_walk rng g ~source ~agents ~max_rounds ()
+  | Quasi_push -> P.Quasi_push.run ?obs rng g ~source ~max_rounds ()
   | Cobra { branching } ->
-      (P.Cobra.run rng g ~source ~branching ~max_rounds ()).P.Cobra.run_result
+      (P.Cobra.run ?obs rng g ~source ~branching ~max_rounds ()).P.Cobra.run_result
   | Frog { frogs_per_vertex } ->
-      (P.Frog.run ~frogs_per_vertex rng g ~source ~max_rounds ()).P.Frog.run_result
-  | Flood -> P.Flood.run g ~source ~max_rounds ()
+      (P.Frog.run ?obs ~frogs_per_vertex rng g ~source ~max_rounds ())
+        .P.Frog.run_result
+  | Flood -> P.Flood.run ?obs g ~source ~max_rounds ()

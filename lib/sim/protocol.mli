@@ -42,6 +42,7 @@ val name : spec -> string
 
 val run :
   ?traffic:Rumor_protocols.Traffic.t ->
+  ?obs:Rumor_obs.Instrument.t ->
   spec ->
   Rumor_prob.Rng.t ->
   Rumor_graph.Graph.t ->
@@ -50,4 +51,7 @@ val run :
   Rumor_protocols.Run_result.t
 (** Dispatch to the matching protocol implementation.  [traffic] is
     honoured by push, push-pull, pull, visit-exchange and meet-exchange;
-    the remaining processes ignore it. *)
+    the remaining processes ignore it.  [obs] is honoured by every
+    protocol: each fires {!Rumor_obs.Instrument} hooks once per round plus
+    one [on_contact] per communication (and [on_walker_move] per agent step
+    for the agent-based processes). *)

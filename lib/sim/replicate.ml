@@ -1,6 +1,8 @@
 module Rng = Rumor_prob.Rng
 module Stats = Rumor_prob.Stats
+module Graph = Rumor_graph.Graph
 module Run_result = Rumor_protocols.Run_result
+module Run_record = Rumor_obs.Run_record
 
 type measurement = {
   times : float array;
@@ -8,25 +10,68 @@ type measurement = {
   summary : Stats.summary;
 }
 
-let measure ~seed ~reps f =
+exception Capped of { rep : int; rounds_run : int }
+
+let () =
+  Printexc.register_printer (function
+    | Capped { rep; rounds_run } ->
+        Some
+          (Printf.sprintf
+             "Rumor_sim.Replicate.Capped (rep %d hit the cap after %d rounds)"
+             rep rounds_run)
+    | _ -> None)
+
+let measure ?(on_capped = `Keep) ?record ~seed ~reps f =
   if reps <= 0 then invalid_arg "Replicate.measure: reps <= 0";
   let master = Rng.of_int seed in
   let capped = ref 0 in
   let times =
-    Array.init reps (fun _ ->
+    Array.init reps (fun rep ->
         let rng = Rng.split master in
-        let result = f rng in
+        let result, wall_seconds, gc = Run_record.timed (fun () -> f rng) in
+        (match record with
+        | Some r -> r ~rep ~result ~wall_seconds ~gc
+        | None -> ());
         match result.Run_result.broadcast_time with
         | Some t -> float_of_int t
-        | None ->
-            incr capped;
-            float_of_int result.Run_result.rounds_run)
+        | None -> (
+            let rounds_run = result.Run_result.rounds_run in
+            match on_capped with
+            | `Fail -> raise (Capped { rep; rounds_run })
+            | `Keep ->
+                incr capped;
+                float_of_int rounds_run))
   in
   { times; capped = !capped; summary = Stats.summarize times }
 
-let broadcast_times ~seed ~reps ~graph ~spec ~max_rounds =
-  measure ~seed ~reps (fun rng ->
+let broadcast_times ?on_capped ?sink ?(graph_name = "custom") ~seed ~reps ~graph
+    ~spec ~max_rounds () =
+  (* [graph rng] re-samples per replication inside [f], so the record
+     callback learns |V| through this ref rather than a return value. *)
+  let last_n = ref 0 in
+  let record =
+    Option.map
+      (fun sink ~rep ~result ~wall_seconds ~gc ->
+        sink
+          {
+            Run_record.seed;
+            rep;
+            graph = graph_name;
+            protocol = Protocol.name spec;
+            vertices = !last_n;
+            broadcast_time = result.Run_result.broadcast_time;
+            rounds_run = result.Run_result.rounds_run;
+            capped = result.Run_result.broadcast_time = None;
+            contacts = result.Run_result.contacts;
+            informed_curve = result.Run_result.informed_curve;
+            wall_seconds;
+            gc;
+          })
+      sink
+  in
+  measure ?on_capped ?record ~seed ~reps (fun rng ->
       let g, source = graph rng in
+      last_n := Graph.n g;
       Protocol.run spec rng g ~source ~max_rounds)
 
 let mean m = m.summary.Stats.mean

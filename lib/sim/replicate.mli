@@ -8,31 +8,57 @@
 (** A replicated broadcast-time measurement. *)
 type measurement = {
   times : float array;
-      (** per-replication broadcast times; a capped run contributes its
-          round cap (an under-estimate — see [capped]) *)
+      (** per-replication broadcast times; under [`Keep] (the default) a
+          capped run contributes its round cap — an under-estimate.  Check
+          [capped] before trusting the summary, or pass [~on_capped:`Fail]
+          to refuse silently biased measurements. *)
   capped : int;  (** number of replications that hit the round cap *)
   summary : Rumor_prob.Stats.summary;
 }
 
+exception Capped of { rep : int; rounds_run : int }
+(** Raised by [~on_capped:`Fail] when replication [rep] ends without full
+    broadcast after [rounds_run] rounds. *)
+
 val measure :
+  ?on_capped:[ `Keep | `Fail ] ->
+  ?record:
+    (rep:int ->
+    result:Rumor_protocols.Run_result.t ->
+    wall_seconds:float ->
+    gc:Rumor_obs.Run_record.gc_counters ->
+    unit) ->
   seed:int ->
   reps:int ->
   (Rumor_prob.Rng.t -> Rumor_protocols.Run_result.t) ->
   measurement
 (** [measure ~seed ~reps f] calls [f] with [reps] independent generators.
+
+    [on_capped] decides what a run that hit its round cap does: [`Keep]
+    (default) folds its [rounds_run] into [times] and counts it in
+    [capped]; [`Fail] raises {!Capped} instead.  [record] is called once
+    per replication — capped or not, before the [`Fail] check — with the
+    raw result plus wall-clock and GC-allocation cost of that run.
     @raise Invalid_argument if [reps <= 0]. *)
 
 val broadcast_times :
+  ?on_capped:[ `Keep | `Fail ] ->
+  ?sink:Rumor_obs.Run_record.sink ->
+  ?graph_name:string ->
   seed:int ->
   reps:int ->
   graph:(Rumor_prob.Rng.t -> Rumor_graph.Graph.t * int) ->
   spec:Protocol.spec ->
   max_rounds:int ->
+  unit ->
   measurement
 (** Convenience wrapper: [graph rng] builds (or re-samples, for random
     models) the graph and source for each replication, then [spec] runs on
     it.  The same split generator drives graph sampling and the protocol, so
-    replications are fully independent. *)
+    replications are fully independent.
+
+    [sink] receives one {!Rumor_obs.Run_record.t} per replication, labelled
+    with [graph_name] (default ["custom"]) and [Protocol.name spec]. *)
 
 val mean : measurement -> float
 val median : measurement -> float

@@ -46,4 +46,5 @@ let () =
       ("sim.experiments", Test_experiments.suite);
       ("sim.invariants", Test_invariants.suite);
       ("sim.curve_stats", Test_curve_stats.suite);
+      ("obs.instrument", Test_obs.suite);
     ]

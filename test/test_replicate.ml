@@ -51,7 +51,7 @@ let test_broadcast_times_wrapper () =
   let m =
     Replicate.broadcast_times ~seed:218 ~reps:5
       ~graph:(fun _rng -> (Gen.complete 16, 0))
-      ~spec:Protocol.push ~max_rounds:10_000
+      ~spec:Protocol.push ~max_rounds:10_000 ()
   in
   Alcotest.(check int) "five reps" 5 (Array.length m.Replicate.times);
   Alcotest.(check bool) "mean positive" true (Replicate.mean m > 0.0);
@@ -64,7 +64,7 @@ let test_graph_resampled_per_replication () =
   let graph rng = (Rumor_graph.Gen_random.random_regular_connected rng ~n:32 ~d:4, 0) in
   let run () =
     Replicate.broadcast_times ~seed:219 ~reps:4 ~graph
-      ~spec:(Protocol.visit_exchange ()) ~max_rounds:100_000
+      ~spec:(Protocol.visit_exchange ()) ~max_rounds:100_000 ()
   in
   let m1 = run () and m2 = run () in
   Alcotest.(check (array (float 1e-9))) "reproducible with random graphs"
