@@ -4,7 +4,7 @@
      dune exec bench/main.exe                 # paper tables (quick) + microbenches
      dune exec bench/main.exe -- --full       # the EXPERIMENTS.md grids (slow)
      dune exec bench/main.exe -- --tables-only
-     dune exec bench/main.exe -- --micro-only
+     dune exec bench/main.exe -- --micro-only # also writes BENCH_<seed>.json
      dune exec bench/main.exe -- --seed 7
      dune exec bench/main.exe -- --tables-only --metrics bench.jsonl
 
@@ -13,7 +13,9 @@
    coupling invariants, the Section 1 combination claim) plus the ablations
    A1..A4.  Part 2 is a Bechamel microbenchmark of the engine: one
    Test.make per protocol on a reference graph, plus the substrate
-   hot paths (PRNG, alias sampling, walker stepping, graph generation). *)
+   hot paths (PRNG, alias sampling, walker stepping, graph generation);
+   its OLS estimates are snapshotted to a machine-readable BENCH JSON that
+   `rumor_report compare` can diff across invocations. *)
 
 module Experiments = Rumor_sim.Experiments
 module Table = Rumor_sim.Table
@@ -147,54 +149,90 @@ let run_micro () =
   let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"rumor" tests) in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
-  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
   Printf.printf "\n%-40s %15s %8s\n" "benchmark" "time/run" "r^2";
   Printf.printf "%s\n" (String.make 65 '-');
-  List.iter
-    (fun (name, ols) ->
-      let estimate =
-        match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> nan
-      in
-      let human t =
-        if t > 1e9 then Printf.sprintf "%.2f s" (t /. 1e9)
-        else if t > 1e6 then Printf.sprintf "%.2f ms" (t /. 1e6)
-        else if t > 1e3 then Printf.sprintf "%.2f us" (t /. 1e3)
-        else Printf.sprintf "%.1f ns" t
-      in
-      let r2 = match Analyze.OLS.r_square ols with Some r -> r | None -> nan in
-      Printf.printf "%-40s %15s %8.3f\n" name (human estimate) r2)
-    rows
+  let entries =
+    List.map
+      (fun (name, ols) ->
+        let estimate =
+          match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> nan
+        in
+        let human t =
+          if t > 1e9 then Printf.sprintf "%.2f s" (t /. 1e9)
+          else if t > 1e6 then Printf.sprintf "%.2f ms" (t /. 1e6)
+          else if t > 1e3 then Printf.sprintf "%.2f us" (t /. 1e3)
+          else Printf.sprintf "%.1f ns" t
+        in
+        let r2 = match Analyze.OLS.r_square ols with Some r -> r | None -> nan in
+        Printf.printf "%-40s %15s %8.3f\n" name (human estimate) r2;
+        { Rumor_obs.Bench_record.name; time_ns = estimate; r_square = r2 })
+      rows
+  in
+  entries
 
 (* ------------------------------------------------------------------ *)
 
-let () =
-  let args = Array.to_list Sys.argv in
-  let has flag = List.mem flag args in
-  let seed =
-    let rec find = function
-      | "--seed" :: v :: _ -> int_of_string v
-      | _ :: rest -> find rest
-      | [] -> 1
-    in
-    find args
-  in
-  let metrics_path =
-    let rec find = function
-      | "--metrics" :: v :: _ -> Some v
-      | _ :: rest -> find rest
-      | [] -> None
-    in
-    find args
-  in
-  let profile = if has "--full" then Experiments.Full else Experiments.Quick in
+open Cmdliner
+
+let main full tables_only micro_only seed metrics bench_json =
+  let profile = if full then Experiments.Full else Experiments.Quick in
   let t0 = Unix.gettimeofday () in
-  if not (has "--micro-only") then begin
-    match metrics_path with
+  if not micro_only then begin
+    match metrics with
     | None -> run_tables profile ~seed
     | Some path ->
         Rumor_obs.Run_record.with_jsonl_file path (fun sink ->
             run_tables ~metrics:sink profile ~seed);
         Printf.printf "wrote per-replicate metrics to %s\n" path
   end;
-  if not (has "--tables-only") then run_micro ();
+  if not tables_only then begin
+    let entries = run_micro () in
+    let path =
+      Option.value bench_json ~default:(Printf.sprintf "BENCH_%d.json" seed)
+    in
+    Rumor_obs.Bench_record.save path { Rumor_obs.Bench_record.seed; entries };
+    Printf.printf "\nwrote microbenchmark snapshot to %s\n" path
+  end;
   Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)
+
+let full_arg =
+  Arg.(value & flag & info [ "full" ] ~doc:"Run the full EXPERIMENTS.md grids (slow).")
+
+let tables_only_arg =
+  Arg.(value & flag & info [ "tables-only" ] ~doc:"Skip the microbenchmarks.")
+
+let micro_only_arg =
+  Arg.(value & flag & info [ "micro-only" ] ~doc:"Skip the paper tables.")
+
+let seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "seed" ] ~docv:"N"
+        ~doc:"Master seed for the paper tables; also names the BENCH snapshot.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Write one JSONL run record per table replicate to $(docv).")
+
+let bench_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "bench-json" ] ~docv:"FILE"
+        ~doc:
+          "Where to write the microbenchmark snapshot (default \
+           BENCH_<seed>.json).")
+
+let cmd =
+  let doc = "paper-reproduction tables and engine microbenchmarks" in
+  Cmd.v
+    (Cmd.info "bench" ~doc)
+    Term.(
+      const main $ full_arg $ tables_only_arg $ micro_only_arg $ seed_arg
+      $ metrics_arg $ bench_json_arg)
+
+let () = exit (Cmd.eval cmd)

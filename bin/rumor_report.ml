@@ -1,0 +1,376 @@
+(* rumor_report: the read side of the metrics pipeline.
+
+   Examples:
+     rumor_run --graph star:1000 -p push --reps 20 --metrics m.jsonl
+     rumor_report summary m.jsonl
+     rumor_report baseline m.jsonl --out BENCH_baseline.json
+     rumor_report check new.jsonl --baseline BENCH_baseline.json --tolerance 25
+     rumor_report compare BENCH_1.json BENCH_2.json *)
+
+open Cmdliner
+module Run_record = Rumor_obs.Run_record
+module Aggregate = Rumor_obs.Aggregate
+module Baseline = Rumor_obs.Baseline
+module Bench_record = Rumor_obs.Bench_record
+module Json = Rumor_obs.Json
+module Table = Rumor_sim.Table
+module Sparkline = Rumor_sim.Sparkline
+module Curve_stats = Rumor_sim.Curve_stats
+module Stats = Rumor_prob.Stats
+
+exception Fail of string
+
+let failf fmt = Printf.ksprintf (fun m -> raise (Fail m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Input detection: a metrics file is either JSONL run records, a      *)
+(* baseline snapshot, or a bench snapshot.                              *)
+(* ------------------------------------------------------------------ *)
+
+type input =
+  | Records of Run_record.t list
+  | Snapshot of Aggregate.t
+  | Bench of Bench_record.t
+
+let read_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | text -> text
+  | exception Sys_error msg -> failf "%s" msg
+
+let load_input path =
+  let text = read_file path in
+  match Json.parse_result (String.trim text) with
+  | Ok j -> (
+      (* the whole file is one JSON value: a snapshot of some kind, or a
+         single-record JSONL file *)
+      match Json.member "schema" j with
+      | Some (Json.String "rumor-bench/1") -> (
+          match Bench_record.of_json text with
+          | Ok b -> Bench b
+          | Error msg -> failf "%s: %s" path msg)
+      | Some (Json.String "rumor-baseline/1") -> (
+          match Baseline.of_json text with
+          | Ok a -> Snapshot a
+          | Error msg -> failf "%s" msg)
+      | Some (Json.String other) -> failf "%s: unsupported schema %S" path other
+      | _ -> (
+          match Run_record.of_json (String.trim text) with
+          | Ok r -> Records [ r ]
+          | Error msg -> failf "%s: %s" path msg))
+  | Error _ -> (
+      (* multiple lines: JSONL *)
+      match Run_record.read_jsonl path with
+      | records -> Records records
+      | exception Run_record.Jsonl_error { path; line; msg } ->
+          failf "%s:%d: %s" path line msg)
+
+let aggregate_of_input path = function
+  | Records rs ->
+      if rs = [] then failf "%s: no records" path else Aggregate.of_records rs
+  | Snapshot a -> a
+  | Bench _ ->
+      failf "%s: bench snapshot where run records or a baseline were expected"
+        path
+
+(* ------------------------------------------------------------------ *)
+(* Formatting helpers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let fmt_ns t =
+  if t >= 1e9 then Printf.sprintf "%.2f s" (t /. 1e9)
+  else if t >= 1e6 then Printf.sprintf "%.2f ms" (t /. 1e6)
+  else if t >= 1e3 then Printf.sprintf "%.2f us" (t /. 1e3)
+  else Printf.sprintf "%.1f ns" t
+
+let fmt_ratio r =
+  if r = infinity then "inf" else Printf.sprintf "%.3fx" r
+
+let fmt_words w =
+  if Float.abs w >= 1e6 then Printf.sprintf "%.2fMw" (w /. 1e6)
+  else if Float.abs w >= 1e3 then Printf.sprintf "%.1fkw" (w /. 1e3)
+  else Printf.sprintf "%.0fw" w
+
+let status_string = function
+  | Baseline.Pass -> "ok"
+  | Baseline.Regressed -> "REGRESSED"
+  | Baseline.Improved -> "improved"
+
+let tolerances_of_pct = function
+  | None -> Baseline.default_tolerances
+  | Some pct ->
+      if pct < 0.0 then failf "--tolerance must be non-negative"
+      else Baseline.uniform (pct /. 100.0)
+
+let print_check_report report =
+  let rows =
+    List.map
+      (fun (c : Baseline.check) ->
+        [
+          c.Baseline.graph;
+          c.Baseline.protocol;
+          c.Baseline.metric;
+          Printf.sprintf "%.4g" c.Baseline.baseline_mean;
+          Printf.sprintf "%.4g" c.Baseline.current_mean;
+          fmt_ratio c.Baseline.ratio;
+          Printf.sprintf "%.0f%%" (100.0 *. c.Baseline.tolerance);
+          status_string c.Baseline.status;
+        ])
+      report.Baseline.checks
+  in
+  Table.print
+    (Table.make ~title:"regression check" ~claim:""
+       ~aligns:[ Table.Left; Table.Left; Table.Left ]
+       ~header:
+         [ "graph"; "protocol"; "metric"; "baseline"; "current"; "ratio";
+           "tol"; "status" ]
+       rows);
+  List.iter
+    (fun (g, p) -> Printf.printf "MISSING: %s/%s present in baseline, absent now\n" g p)
+    report.Baseline.missing;
+  List.iter
+    (fun (g, p) -> Printf.printf "new (no baseline): %s/%s\n" g p)
+    report.Baseline.added;
+  let regressed = List.length (Baseline.regressions report) in
+  Printf.printf "\n%d metric(s) regressed, %d group(s) missing — %s\n" regressed
+    (List.length report.Baseline.missing)
+    (if Baseline.passed report then "PASS" else "FAIL")
+
+(* ------------------------------------------------------------------ *)
+(* summary                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let summary path ascii width =
+  let agg = aggregate_of_input path (load_input path) in
+  let rows =
+    List.map
+      (fun (g : Aggregate.group) ->
+        let b = g.Aggregate.broadcast in
+        let s = b.Aggregate.summary in
+        [
+          g.Aggregate.graph;
+          g.Aggregate.protocol;
+          string_of_int g.Aggregate.runs;
+          string_of_int g.Aggregate.capped;
+          Printf.sprintf "%.1f" s.Stats.mean;
+          Printf.sprintf "%.1f" s.Stats.median;
+          Printf.sprintf "%.1f" b.Aggregate.p90;
+          Printf.sprintf "%.1f" b.Aggregate.p99;
+          Printf.sprintf "%.3g"
+            g.Aggregate.contacts.Aggregate.summary.Stats.mean;
+          Printf.sprintf "%.2f"
+            (1000.0 *. g.Aggregate.wall_seconds.Aggregate.summary.Stats.mean);
+          fmt_words g.Aggregate.alloc_words.Aggregate.summary.Stats.mean;
+        ])
+      agg
+  in
+  Table.print
+    (Table.make
+       ~title:(Printf.sprintf "per-(graph, protocol) summary of %s" path)
+       ~claim:""
+       ~aligns:[ Table.Left; Table.Left ]
+       ~header:
+         [ "graph"; "protocol"; "runs"; "capped"; "bt mean"; "bt med";
+           "bt p90"; "bt p99"; "contacts"; "wall ms"; "alloc" ]
+       rows);
+  let with_curves =
+    List.filter
+      (fun (g : Aggregate.group) -> Array.length g.Aggregate.mean_curve > 0)
+      agg
+  in
+  if with_curves <> [] then begin
+    Printf.printf "\nmean informed-count curves:\n";
+    let label_width =
+      List.fold_left
+        (fun m (g : Aggregate.group) ->
+          max m
+            (String.length g.Aggregate.graph
+            + String.length g.Aggregate.protocol + 1))
+        0 with_curves
+    in
+    List.iter
+      (fun (g : Aggregate.group) ->
+        let label = g.Aggregate.graph ^ "/" ^ g.Aggregate.protocol in
+        let curve = g.Aggregate.mean_curve in
+        let int_curve = Array.map int_of_float curve in
+        let half =
+          Curve_stats.time_to_fraction_curve
+            ~completed:(g.Aggregate.capped < g.Aggregate.runs)
+            int_curve 0.5
+        in
+        Printf.printf "  %-*s %s%s\n" label_width label
+          (Sparkline.render ~width ~ascii curve)
+          (match half with
+          | Some h -> Printf.sprintf "  (50%% at round %d)" h
+          | None -> ""))
+      with_curves
+  end;
+  0
+
+(* ------------------------------------------------------------------ *)
+(* compare                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let compare_bench (base : Bench_record.t) (current : Bench_record.t) =
+  let d = Bench_record.diff ~base ~current in
+  let rows =
+    List.map
+      (fun (delta : Bench_record.delta) ->
+        [
+          delta.Bench_record.name;
+          fmt_ns delta.Bench_record.base_ns;
+          fmt_ns delta.Bench_record.current_ns;
+          fmt_ratio delta.Bench_record.ratio;
+        ])
+      d.Bench_record.deltas
+  in
+  Table.print
+    (Table.make
+       ~title:
+         (Printf.sprintf "microbenchmarks: seed %d -> seed %d"
+            base.Bench_record.seed current.Bench_record.seed)
+       ~claim:"" ~aligns:[ Table.Left ]
+       ~header:[ "benchmark"; "old"; "new"; "ratio" ]
+       rows);
+  List.iter (Printf.printf "missing in new run: %s\n") d.Bench_record.missing;
+  List.iter (Printf.printf "new benchmark: %s\n") d.Bench_record.added;
+  0
+
+let compare_files old_path new_path tolerance_pct =
+  let old_input = load_input old_path and new_input = load_input new_path in
+  match (old_input, new_input) with
+  | Bench b, Bench c -> compare_bench b c
+  | Bench _, _ | _, Bench _ ->
+      failf "cannot compare a bench snapshot against run records"
+  | _ ->
+      let tol = tolerances_of_pct tolerance_pct in
+      let baseline = aggregate_of_input old_path old_input in
+      let current = aggregate_of_input new_path new_input in
+      let report = Baseline.check ~tol ~baseline ~current () in
+      print_check_report report;
+      (* compare is informational: only malformed input exits nonzero *)
+      0
+
+(* ------------------------------------------------------------------ *)
+(* check / baseline                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let check path baseline_path tolerance_pct =
+  let tol = tolerances_of_pct tolerance_pct in
+  let baseline =
+    aggregate_of_input baseline_path (load_input baseline_path)
+  in
+  let current = aggregate_of_input path (load_input path) in
+  let report = Baseline.check ~tol ~baseline ~current () in
+  print_check_report report;
+  if Baseline.passed report then 0 else 1
+
+let make_baseline path out =
+  let agg = aggregate_of_input path (load_input path) in
+  Baseline.save out agg;
+  Printf.printf "wrote baseline of %d group(s) to %s\n" (List.length agg) out;
+  0
+
+(* ------------------------------------------------------------------ *)
+(* Cmdliner plumbing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let handle f = try f () with Fail msg -> prerr_endline ("rumor_report: " ^ msg); 2
+
+let file_pos ~docv n =
+  Arg.(required & pos n (some string) None & info [] ~docv)
+
+let tolerance_arg =
+  let doc =
+    "Uniform relative tolerance in percent for every metric (overrides the \
+     per-metric defaults: broadcast/contacts 10%, wall-clock 50%, \
+     allocation 15%)."
+  in
+  Arg.(value & opt (some float) None & info [ "tolerance" ] ~docv:"PCT" ~doc)
+
+let summary_cmd =
+  let doc = "per-(graph, protocol) summary table of a metrics file" in
+  let ascii =
+    Arg.(value & flag & info [ "ascii" ] ~doc:"ASCII sparklines (no Unicode).")
+  in
+  let width =
+    Arg.(value & opt int 50 & info [ "width" ] ~docv:"N" ~doc:"Sparkline width.")
+  in
+  Cmd.v
+    (Cmd.info "summary" ~doc)
+    Term.(
+      const (fun path ascii width -> handle (fun () -> summary path ascii width))
+      $ file_pos ~docv:"FILE.jsonl" 0 $ ascii $ width)
+
+let compare_cmd =
+  let doc =
+    "diff two metrics files (JSONL runs, baseline snapshots, or BENCH \
+     microbenchmark snapshots)"
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc)
+    Term.(
+      const (fun old_path new_path tol ->
+          handle (fun () -> compare_files old_path new_path tol))
+      $ file_pos ~docv:"OLD" 0 $ file_pos ~docv:"NEW" 1 $ tolerance_arg)
+
+let check_cmd =
+  let doc =
+    "gate a metrics file against a baseline snapshot; exits 1 on regression"
+  in
+  let baseline_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE.json"
+          ~doc:"Baseline snapshot written by $(b,rumor_report baseline).")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc)
+    Term.(
+      const (fun path b tol -> handle (fun () -> check path b tol))
+      $ file_pos ~docv:"FILE.jsonl" 0 $ baseline_arg $ tolerance_arg)
+
+let baseline_cmd =
+  let doc = "snapshot a metrics file's aggregate as a baseline" in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "BENCH_baseline.json"
+      & info [ "o"; "out" ] ~docv:"FILE.json" ~doc:"Output path.")
+  in
+  Cmd.v
+    (Cmd.info "baseline" ~doc)
+    Term.(
+      const (fun path out -> handle (fun () -> make_baseline path out))
+      $ file_pos ~docv:"FILE.jsonl" 0 $ out_arg)
+
+let cmd =
+  let doc = "analyze recorded rumor-spreading metrics" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Consumes the JSONL files written by the $(b,--metrics) flag of \
+         rumor_run, rumor_experiments and bench/main.exe, plus the \
+         BENCH_<seed>.json microbenchmark snapshots: groups records by \
+         (graph, protocol), reports mean/median/p90/p99, and gates new runs \
+         against saved baselines.";
+      `S Manpage.s_examples;
+      `Pre
+        "  rumor_run -g star:1000 -p push --reps 20 --metrics m.jsonl\n\
+        \  rumor_report summary m.jsonl\n\
+        \  rumor_report baseline m.jsonl -o BENCH_baseline.json\n\
+        \  rumor_report check new.jsonl --baseline BENCH_baseline.json \
+         --tolerance 25";
+    ]
+  in
+  Cmd.group
+    (Cmd.info "rumor_report" ~version:"1.0.0" ~doc ~man)
+    [ summary_cmd; compare_cmd; check_cmd; baseline_cmd ]
+
+let () = exit (Cmd.eval' cmd)

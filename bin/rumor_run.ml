@@ -81,6 +81,25 @@ let run graph_text protocols source_override seed reps max_rounds alpha lazy_tex
               (g, Option.value source_override ~default:s)
             else (g0, source)
           in
+          (* --curve prints replicate 0's curve, captured through the record
+             sink so it belongs to one of the measured runs (an extra
+             simulation with a fresh generator would belong to none). *)
+          let rep0 = ref None in
+          let sink =
+            if not show_curve then sink
+            else begin
+              let capture (r : Run_record.t) =
+                if r.Run_record.rep = 0 then rep0 := Some r
+              in
+              Some
+                (match sink with
+                | None -> capture
+                | Some s ->
+                    fun r ->
+                      capture r;
+                      s r)
+            end
+          in
           let m =
             Replicate.broadcast_times ?sink
               ~graph_name:(Graph_spec.to_string spec) ~seed ~reps ~graph ~spec:p
@@ -92,18 +111,20 @@ let run graph_text protocols source_override seed reps max_rounds alpha lazy_tex
             (if m.Replicate.capped > 0 then
                Printf.sprintf "  (%d/%d capped)" m.Replicate.capped reps
              else "");
-          if show_curve then begin
-            let rng = Rng.of_int seed in
-            let g, s0 = graph rng in
-            let r = Protocol.run p rng g ~source:s0 ~max_rounds in
-            let curve = r.Rumor_protocols.Run_result.informed_curve in
-            Printf.printf "  curve %s"
-              (Rumor_sim.Sparkline.render_ints ~width:50 curve);
-            (match Rumor_sim.Curve_stats.half_time r with
-            | Some h -> Printf.printf "  (50%% at round %d)" h
-            | None -> ());
-            Printf.printf "\n"
-          end)
+          match (show_curve, !rep0) with
+          | false, _ | true, None -> ()
+          | true, Some r ->
+              let curve = r.Run_record.informed_curve in
+              Printf.printf "  curve %s"
+                (Rumor_sim.Sparkline.render_ints ~width:50 curve);
+              (match
+                 Rumor_sim.Curve_stats.time_to_fraction_curve
+                   ~completed:(r.Run_record.broadcast_time <> None)
+                   curve 0.5
+               with
+              | Some h -> Printf.printf "  (50%% at round %d)" h
+              | None -> ());
+              Printf.printf "\n")
         protocol_specs
     in
     match metrics_path with
@@ -156,7 +177,7 @@ let lazy_arg =
   Arg.(value & opt string "auto" & info [ "lazy" ] ~docv:"MODE" ~doc)
 
 let curve_arg =
-  let doc = "Also print a sampled informed-count curve of one run." in
+  let doc = "Also print replicate 0's informed-count curve." in
   Arg.(value & flag & info [ "curve" ] ~doc)
 
 let metrics_arg =

@@ -112,4 +112,4 @@ let degree_histogram g =
     Hashtbl.replace table d (1 + Option.value ~default:0 (Hashtbl.find_opt table d))
   done;
   Hashtbl.fold (fun d c acc -> (d, c) :: acc) table []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)

@@ -114,7 +114,7 @@ let of_edge_array ~n:nv edges =
   for u = 0 to nv - 1 do
     let lo = offsets.(u) and hi = offsets.(u + 1) in
     let slice = Array.sub adj lo (hi - lo) in
-    Array.sort compare slice;
+    Array.sort Int.compare slice;
     Array.blit slice 0 adj lo (hi - lo);
     for i = lo + 1 to hi - 1 do
       if adj.(i) = adj.(i - 1) then

@@ -87,7 +87,7 @@ let conductance_sweep ?iterations g =
   if n < 2 then invalid_arg "Spectral.conductance_sweep: trivial graph";
   let x = second_eigenvector ?iterations g in
   let order = Array.init n (fun v -> v) in
-  Array.sort (fun a b -> compare x.(a) x.(b)) order;
+  Array.sort (fun a b -> Float.compare x.(a) x.(b)) order;
   (* sweep: move vertices into side S in eigenvector order, maintaining the
      cut size incrementally *)
   let in_s = Array.make n false in

@@ -1,0 +1,102 @@
+module Stats = Rumor_prob.Stats
+
+type metric = { summary : Stats.summary; p90 : float; p99 : float }
+
+type group = {
+  graph : string;
+  protocol : string;
+  runs : int;
+  capped : int;
+  vertices : int;
+  broadcast : metric;
+  contacts : metric;
+  wall_seconds : metric;
+  alloc_words : metric;
+  mean_curve : float array;
+}
+
+type t = group list
+
+let metric_of_samples xs =
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  {
+    summary = Stats.summarize xs;
+    p90 = Stats.quantile sorted 0.9;
+    p99 = Stats.quantile sorted 0.99;
+  }
+
+let alloc_words (gc : Run_record.gc_counters) =
+  gc.Run_record.minor_words +. gc.Run_record.major_words
+  -. gc.Run_record.promoted_words
+
+let mean_curve_of records =
+  let curves =
+    List.filter_map
+      (fun (r : Run_record.t) ->
+        if Array.length r.Run_record.informed_curve > 0 then
+          Some r.Run_record.informed_curve
+        else None)
+      records
+  in
+  match curves with
+  | [] -> [||]
+  | _ ->
+      let len = List.fold_left (fun m c -> max m (Array.length c)) 0 curves in
+      let sum = Array.make len 0.0 in
+      List.iter
+        (fun c ->
+          let cl = Array.length c in
+          for i = 0 to len - 1 do
+            let v = if i < cl then c.(i) else c.(cl - 1) in
+            sum.(i) <- sum.(i) +. float_of_int v
+          done)
+        curves;
+      let k = float_of_int (List.length curves) in
+      Array.map (fun x -> x /. k) sum
+
+let group_of ~graph ~protocol records =
+  let arr f = Array.of_list (List.map f records) in
+  {
+    graph;
+    protocol;
+    runs = List.length records;
+    capped =
+      List.length (List.filter (fun (r : Run_record.t) -> r.Run_record.capped) records);
+    vertices =
+      List.fold_left (fun m (r : Run_record.t) -> max m r.Run_record.vertices) 0 records;
+    broadcast =
+      metric_of_samples
+        (arr (fun (r : Run_record.t) ->
+             match r.Run_record.broadcast_time with
+             | Some t -> float_of_int t
+             | None -> float_of_int r.Run_record.rounds_run));
+    contacts =
+      metric_of_samples
+        (arr (fun (r : Run_record.t) -> float_of_int r.Run_record.contacts));
+    wall_seconds =
+      metric_of_samples (arr (fun (r : Run_record.t) -> r.Run_record.wall_seconds));
+    alloc_words =
+      metric_of_samples (arr (fun (r : Run_record.t) -> alloc_words r.Run_record.gc));
+    mean_curve = mean_curve_of records;
+  }
+
+let of_records records =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Run_record.t) ->
+      let key = (r.Run_record.graph, r.Run_record.protocol) in
+      let existing = Option.value (Hashtbl.find_opt tbl key) ~default:[] in
+      Hashtbl.replace tbl key (r :: existing))
+    records;
+  Hashtbl.fold
+    (fun (graph, protocol) rs acc ->
+      group_of ~graph ~protocol (List.rev rs) :: acc)
+    tbl []
+  |> List.sort (fun a b ->
+         match String.compare a.graph b.graph with
+         | 0 -> String.compare a.protocol b.protocol
+         | c -> c)
+
+let find t ~graph ~protocol =
+  List.find_opt (fun g -> g.graph = graph && g.protocol = protocol) t

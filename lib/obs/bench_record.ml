@@ -1,0 +1,123 @@
+type entry = { name : string; time_ns : float; r_square : float }
+type t = { seed : int; entries : entry list }
+
+let schema = "rumor-bench/1"
+
+let to_json t =
+  Json.to_string_json
+    (Json.Obj
+       [
+         ("schema", Json.String schema);
+         ("seed", Json.Int t.seed);
+         ( "entries",
+           Json.List
+             (List.map
+                (fun e ->
+                  Json.Obj
+                    [
+                      ("name", Json.String e.name);
+                      ("time_ns", Json.Float e.time_ns);
+                      ("r_square", Json.Float e.r_square);
+                    ])
+                t.entries) );
+       ])
+
+let ( let* ) r f = Result.bind r f
+
+let field where name conv =
+  match Json.member name where with
+  | None -> Error (Printf.sprintf "missing field %S" name)
+  | Some v -> (
+      match conv v with
+      | Some x -> Ok x
+      | None -> Error (Printf.sprintf "field %S has the wrong type" name))
+
+let of_json text =
+  let* j = Json.parse_result text in
+  let* () =
+    match Json.member "schema" j with
+    | Some (Json.String s) when s = schema -> Ok ()
+    | Some (Json.String s) ->
+        Error (Printf.sprintf "unsupported schema %S (want %S)" s schema)
+    | _ -> Error "not a bench snapshot (no \"schema\" field)"
+  in
+  let* seed = field j "seed" Json.to_int in
+  let* items = field j "entries" Json.to_list in
+  let rec go acc = function
+    | [] -> Ok { seed; entries = List.rev acc }
+    | item :: rest -> (
+        let entry =
+          let* name = field item "name" Json.to_string in
+          let* time_ns = field item "time_ns" Json.to_float in
+          let* r_square = field item "r_square" Json.to_float in
+          Ok { name; time_ns; r_square }
+        in
+        match entry with
+        | Ok e -> go (e :: acc) rest
+        | Error msg ->
+            Error (Printf.sprintf "entry %d: %s" (List.length acc) msg))
+  in
+  go [] items
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (to_json t);
+      output_char oc '\n')
+
+let load path =
+  let read () =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match read () with
+  | exception Sys_error msg -> Error msg
+  | text -> (
+      match of_json text with
+      | Ok t -> Ok t
+      | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+
+type delta = { name : string; base_ns : float; current_ns : float; ratio : float }
+type diff = { deltas : delta list; missing : string list; added : string list }
+
+let diff ~base ~current =
+  let find (entries : entry list) name =
+    List.find_opt (fun (e : entry) -> e.name = name) entries
+  in
+  let deltas =
+    List.filter_map
+      (fun (c : entry) ->
+        match find base.entries c.name with
+        | None -> None
+        | Some b ->
+            Some
+              {
+                name = c.name;
+                base_ns = b.time_ns;
+                current_ns = c.time_ns;
+                ratio =
+                  (if b.time_ns = 0.0 then
+                     if c.time_ns = 0.0 then 1.0 else infinity
+                   else c.time_ns /. b.time_ns);
+              })
+      current.entries
+  in
+  let missing =
+    List.filter_map
+      (fun (b : entry) ->
+        match find current.entries b.name with
+        | None -> Some b.name
+        | Some _ -> None)
+      base.entries
+  in
+  let added =
+    List.filter_map
+      (fun (c : entry) ->
+        match find base.entries c.name with None -> Some c.name | Some _ -> None)
+      current.entries
+  in
+  { deltas; missing; added }

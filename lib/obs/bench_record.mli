@@ -1,0 +1,32 @@
+(** Machine-readable microbenchmark results ([BENCH_<seed>.json]).
+
+    [bench/main.exe --micro-only] snapshots its Bechamel OLS estimates to
+    one JSON file per invocation (schema ["rumor-bench/1"]), so the perf
+    trajectory accumulates across PRs and [rumor_report compare] can diff
+    any two snapshots. *)
+
+type entry = {
+  name : string;  (** Bechamel test name, e.g. ["rumor/push/regular-1024"] *)
+  time_ns : float;  (** OLS estimate of nanoseconds per run *)
+  r_square : float;  (** fit quality; [nan] when unavailable *)
+}
+
+type t = { seed : int; entries : entry list }
+
+val to_json : t -> string
+val of_json : string -> (t, string) result
+
+val save : string -> t -> unit
+val load : string -> (t, string) result
+(** [Error] covers both I/O and parse failures, prefixed with the path. *)
+
+(** One benchmark present in both snapshots; [ratio = current /. base]. *)
+type delta = { name : string; base_ns : float; current_ns : float; ratio : float }
+
+type diff = {
+  deltas : delta list;  (** in [current] order *)
+  missing : string list;  (** in [base] but not [current] *)
+  added : string list;  (** in [current] but not [base] *)
+}
+
+val diff : base:t -> current:t -> diff

@@ -39,29 +39,11 @@ let timed f =
       promoted_words = g1.promoted_words -. g0.promoted_words;
     } )
 
-(* JSON helpers — the schema is flat and small, so we emit by hand rather
-   than pull in a JSON dependency. *)
+(* JSON emission stays hand-rolled (the schema is flat and small); string
+   and float rendering is shared with the parser side in {!Json}. *)
 
-let buf_add_json_string buf s =
-  Buffer.add_char buf '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.add_char buf '"'
-
-let buf_add_float buf x =
-  (* shortest round-trippable decimal; JSON forbids inf/nan but runs never
-     produce them *)
-  Buffer.add_string buf (Printf.sprintf "%.17g" x)
+let buf_add_json_string = Json.buf_add_string_literal
+let buf_add_float = Json.buf_add_float
 
 let to_json t =
   let buf = Buffer.create (256 + (8 * Array.length t.informed_curve)) in
@@ -108,8 +90,101 @@ let output oc t =
 
 let to_channel oc t = output oc t
 
-let with_jsonl_file path f =
-  let oc = open_out path in
+let with_jsonl_file ?(append = false) path f =
+  let oc =
+    if append then
+      open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path
+    else open_out path
+  in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> f (to_channel oc))
+
+(* --- reading back ----------------------------------------------------- *)
+
+let of_json line =
+  match Json.parse_result line with
+  | Result.Error msg -> Error msg
+  | Ok j ->
+      let ( let* ) r f = Result.bind r f in
+      let field ?(where = j) name conv =
+        match Json.member name where with
+        | None -> Error (Printf.sprintf "missing field %S" name)
+        | Some v -> (
+            match conv v with
+            | Some x -> Ok x
+            | None -> Error (Printf.sprintf "field %S has the wrong type" name))
+      in
+      let* seed = field "seed" Json.to_int in
+      let* rep = field "rep" Json.to_int in
+      let* graph = field "graph" Json.to_string in
+      let* protocol = field "protocol" Json.to_string in
+      let* vertices = field "vertices" Json.to_int in
+      let* broadcast_time =
+        field "broadcast_time" (function
+          | Json.Null -> Some None
+          | Json.Int k -> Some (Some k)
+          | _ -> None)
+      in
+      let* rounds_run = field "rounds_run" Json.to_int in
+      let* capped = field "capped" Json.to_bool in
+      let* contacts = field "contacts" Json.to_int in
+      let* curve_items = field "informed_curve" Json.to_list in
+      let* informed_curve =
+        let rec ints acc = function
+          | [] -> Ok (Array.of_list (List.rev acc))
+          | item :: rest -> (
+              match Json.to_int item with
+              | Some k -> ints (k :: acc) rest
+              | None -> Error "field \"informed_curve\" has a non-integer entry")
+        in
+        ints [] curve_items
+      in
+      let* wall_seconds = field "wall_seconds" Json.to_float in
+      let* gc_obj =
+        field "gc" (function Json.Obj _ as o -> Some o | _ -> None)
+      in
+      let* minor_words = field ~where:gc_obj "minor_words" Json.to_float in
+      let* major_words = field ~where:gc_obj "major_words" Json.to_float in
+      let* promoted_words = field ~where:gc_obj "promoted_words" Json.to_float in
+      Ok
+        {
+          seed;
+          rep;
+          graph;
+          protocol;
+          vertices;
+          broadcast_time;
+          rounds_run;
+          capped;
+          contacts;
+          informed_curve;
+          wall_seconds;
+          gc = { minor_words; major_words; promoted_words };
+        }
+
+exception Jsonl_error of { path : string; line : int; msg : string }
+
+let () =
+  Printexc.register_printer (function
+    | Jsonl_error { path; line; msg } ->
+        Some (Printf.sprintf "%s:%d: %s" path line msg)
+    | _ -> None)
+
+let read_jsonl path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go lineno acc =
+        match input_line ic with
+        | exception End_of_file -> List.rev acc
+        | line ->
+            if String.trim line = "" then go (lineno + 1) acc
+            else begin
+              match of_json line with
+              | Ok r -> go (lineno + 1) (r :: acc)
+              | Error msg -> raise (Jsonl_error { path; line = lineno; msg })
+            end
+      in
+      go 1 [])

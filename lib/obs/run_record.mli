@@ -65,7 +65,33 @@ val output : out_channel -> t -> unit
 val to_channel : out_channel -> sink
 (** A sink writing JSONL to the channel. *)
 
-val with_jsonl_file : string -> (sink -> 'a) -> 'a
-(** [with_jsonl_file path f] opens (truncates) [path], hands [f] a sink
-    appending one JSONL line per record, and closes the file when [f]
-    returns or raises. *)
+val with_jsonl_file : ?append:bool -> string -> (sink -> 'a) -> 'a
+(** [with_jsonl_file path f] opens [path], hands [f] a sink appending one
+    JSONL line per record, and closes the file when [f] returns or raises.
+
+    By default the file is truncated; with [~append:true] new records are
+    appended after any existing ones, so a sweep that invokes the CLI many
+    times (one graph size or seed per invocation) can accumulate a single
+    metrics file and analyze it in one [rumor_report summary] call. *)
+
+(** {1 Reading records back}
+
+    The inverse direction of {!to_json}/{!with_jsonl_file}, used by the
+    analysis layer ({!Aggregate}, {!Baseline}, [rumor_report]). *)
+
+val of_json : string -> (t, string) result
+(** Parse one record from its single-line JSON form.  Unknown fields are
+    ignored (forward compatibility); a missing or ill-typed field is an
+    [Error] naming it. *)
+
+exception Jsonl_error of { path : string; line : int; msg : string }
+(** Raised by {!read_jsonl} on the first malformed line; [line] is 1-based.
+    A printer is registered, so it formats as ["path:line: msg"]. *)
+
+val read_jsonl : string -> t list
+(** [read_jsonl path] reads a metrics file line by line (streaming — the
+    file is never held in memory wholesale), skipping blank lines, and
+    returns the records in file order.  Any other malformed content —
+    including trailing garbage from a truncated final write — raises
+    {!Jsonl_error} with the offending line number.
+    @raise Sys_error if the file cannot be opened. *)

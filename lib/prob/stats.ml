@@ -59,7 +59,7 @@ let summarize xs =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Stats.summarize: empty sample";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let acc = create () in
   Array.iter (add acc) xs;
   {

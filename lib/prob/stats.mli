@@ -43,7 +43,9 @@ type summary = {
 
 val summarize : float array -> summary
 (** [summarize xs] computes the summary of a non-empty sample.  Quantiles use
-    linear interpolation between order statistics.
+    linear interpolation between order statistics.  Sorting uses
+    [Float.compare], so any NaNs order before every number (deterministic,
+    unlike the unspecified polymorphic-compare ordering).
     @raise Invalid_argument on an empty sample. *)
 
 val summarize_ints : int array -> summary

@@ -1,9 +1,8 @@
 module Run_result = Rumor_protocols.Run_result
 
-let time_to_fraction (r : Run_result.t) q =
+let time_to_fraction_curve ?(completed = true) curve q =
   if not (q > 0.0 && q <= 1.0) then
     invalid_arg "Curve_stats.time_to_fraction: fraction outside (0, 1]";
-  let curve = r.Run_result.informed_curve in
   let len = Array.length curve in
   if len = 0 then None
   else begin
@@ -15,10 +14,13 @@ let time_to_fraction (r : Run_result.t) q =
     in
     (* a capped run's final count is its own maximum, so only report the
        milestone if the run completed or q refers to what was reached *)
-    match r.Run_result.broadcast_time with
-    | Some _ -> scan 0
-    | None -> if target > 0.0 then scan 0 else None
+    if completed then scan 0 else if target > 0.0 then scan 0 else None
   end
+
+let time_to_fraction (r : Run_result.t) q =
+  time_to_fraction_curve
+    ~completed:(r.Run_result.broadcast_time <> None)
+    r.Run_result.informed_curve q
 
 let half_time r = time_to_fraction r 0.5
 

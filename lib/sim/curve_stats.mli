@@ -4,6 +4,13 @@
     the intermediate milestones (time to reach a fraction of the
     population, per-round growth) that examples and ablations report. *)
 
+val time_to_fraction_curve : ?completed:bool -> int array -> float -> int option
+(** Curve-level form of {!time_to_fraction}, for curves that arrive without
+    a [Run_result.t] around them (e.g. from a {!Rumor_obs.Run_record.t}).
+    [completed] (default true) says whether the run finished; on a capped
+    run the final count is the curve's own maximum, so milestones are only
+    meaningful relative to what was actually reached. *)
+
 val time_to_fraction : Rumor_protocols.Run_result.t -> float -> int option
 (** [time_to_fraction r q] is the first round at which at least [q] of the
     final informed count is reached ([q] in (0, 1]); [None] for an empty

@@ -47,4 +47,5 @@ let () =
       ("sim.invariants", Test_invariants.suite);
       ("sim.curve_stats", Test_curve_stats.suite);
       ("obs.instrument", Test_obs.suite);
+      ("obs.analysis", Test_report.suite);
     ]

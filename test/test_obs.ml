@@ -76,6 +76,50 @@ let test_curves_monotone () =
       check_monotone name (Obs.Recorder.curve rec_))
     [ ("push", Protocol.push); ("push-pull", Protocol.push_pull) ]
 
+let test_pair_duplicates_hooks () =
+  (* a paired instrument must drive both recorders identically — and the
+     pair must see exactly what a single recorder would *)
+  let rec_a = Obs.Recorder.create () and rec_b = Obs.Recorder.create () in
+  let solo = Obs.Recorder.create () in
+  let run obs =
+    P.Visit_exchange.run ~obs (Rng.of_int 13) (Gen.complete 12) ~source:0
+      ~agents:(Rumor_agents.Placement.Stationary 12) ~max_rounds:10_000 ()
+  in
+  let paired =
+    run (Obs.pair (Obs.Recorder.instrument rec_a) (Obs.Recorder.instrument rec_b))
+  in
+  let alone = run (Obs.Recorder.instrument solo) in
+  Alcotest.(check (option int)) "same broadcast time"
+    alone.P.Run_result.broadcast_time paired.P.Run_result.broadcast_time;
+  List.iter
+    (fun (name, r) ->
+      Alcotest.(check int)
+        (name ^ ": rounds started")
+        (Obs.Recorder.rounds_started solo)
+        (Obs.Recorder.rounds_started r);
+      Alcotest.(check int)
+        (name ^ ": contacts")
+        (Obs.Recorder.contacts solo) (Obs.Recorder.contacts r);
+      Alcotest.(check int)
+        (name ^ ": walker moves")
+        (Obs.Recorder.walker_moves solo)
+        (Obs.Recorder.walker_moves r);
+      Alcotest.(check (array int))
+        (name ^ ": curve")
+        (Obs.Recorder.curve solo) (Obs.Recorder.curve r))
+    [ ("left", rec_a); ("right", rec_b) ]
+
+let test_pair_calls_left_then_right () =
+  let order = ref [] in
+  let tag name =
+    Obs.make ~on_round_end:(fun ~round:_ ~informed:_ ~contacts:_ ->
+        order := name :: !order) ()
+  in
+  (Obs.pair (tag "a") (tag "b")).Obs.on_round_end ~round:1 ~informed:1
+    ~contacts:0;
+  Alcotest.(check (list string)) "left fires before right" [ "a"; "b" ]
+    (List.rev !order)
+
 let test_nop_does_not_change_result () =
   let run obs =
     P.Push_pull.run ?obs (Rng.of_int 97) (Gen.complete 40) ~source:0
@@ -198,6 +242,33 @@ let test_jsonl_file_roundtrip () =
             (String.length l > 2 && l.[0] = '{' && l.[String.length l - 1] = '}'))
         !lines)
 
+let count_lines path =
+  let ic = open_in path in
+  let n = ref 0 in
+  (try
+     while true do
+       ignore (input_line ic);
+       incr n
+     done
+   with End_of_file -> close_in ic);
+  !n
+
+let test_jsonl_append_flag () =
+  let path = Filename.temp_file "rumor_obs_append" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Run_record.with_jsonl_file path (fun sink ->
+          sink sample_record;
+          sink sample_record);
+      Run_record.with_jsonl_file ~append:true path (fun sink ->
+          sink { sample_record with Run_record.rep = 4 });
+      Alcotest.(check int) "append keeps earlier records" 3 (count_lines path);
+      Alcotest.(check int) "appended records read back" 3
+        (List.length (Run_record.read_jsonl path));
+      Run_record.with_jsonl_file path (fun sink -> sink sample_record);
+      Alcotest.(check int) "default truncates" 1 (count_lines path))
+
 (* --- Replicate wiring ------------------------------------------------- *)
 
 let test_sink_gets_one_record_per_rep () =
@@ -269,6 +340,9 @@ let suite =
     Alcotest.test_case "recorder matches run result" `Quick
       test_recorder_matches_run_result;
     Alcotest.test_case "curves monotone" `Quick test_curves_monotone;
+    Alcotest.test_case "pair duplicates hooks" `Quick test_pair_duplicates_hooks;
+    Alcotest.test_case "pair calls left then right" `Quick
+      test_pair_calls_left_then_right;
     Alcotest.test_case "nop obs preserves results" `Quick
       test_nop_does_not_change_result;
     Alcotest.test_case "walker moves counted" `Quick test_walker_moves_counted;
@@ -280,6 +354,7 @@ let suite =
     Alcotest.test_case "record JSON capped null" `Quick
       test_record_json_null_when_capped;
     Alcotest.test_case "JSONL file roundtrip" `Quick test_jsonl_file_roundtrip;
+    Alcotest.test_case "JSONL append flag" `Quick test_jsonl_append_flag;
     Alcotest.test_case "sink gets one record per rep" `Quick
       test_sink_gets_one_record_per_rep;
     Alcotest.test_case "on_capped keep default" `Quick test_on_capped_keep_default;
