@@ -20,7 +20,6 @@
 module Experiments = Rumor_sim.Experiments
 module Table = Rumor_sim.Table
 module Rng = Rumor_prob.Rng
-module Graph = Rumor_graph.Graph
 module P = Rumor_protocols
 
 (* ------------------------------------------------------------------ *)

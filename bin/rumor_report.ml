@@ -70,8 +70,8 @@ let load_input path =
           failf "%s:%d: %s" path line msg)
 
 let aggregate_of_input path = function
-  | Records rs ->
-      if rs = [] then failf "%s: no records" path else Aggregate.of_records rs
+  | Records [] -> failf "%s: no records" path
+  | Records rs -> Aggregate.of_records rs
   | Snapshot a -> a
   | Bench _ ->
       failf "%s: bench snapshot where run records or a baseline were expected"
@@ -182,7 +182,7 @@ let summary path ascii width =
       (fun (g : Aggregate.group) -> Array.length g.Aggregate.mean_curve > 0)
       agg
   in
-  if with_curves <> [] then begin
+  if not (List.is_empty with_curves) then begin
     Printf.printf "\nmean informed-count curves:\n";
     let label_width =
       List.fold_left

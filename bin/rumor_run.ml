@@ -59,7 +59,7 @@ let run graph_text protocols source_override seed reps max_rounds alpha lazy_tex
       (Ok []) (List.rev protocols)
   in
   let protocol_specs =
-    if protocol_specs = [] then [ Protocol.Push ] else protocol_specs
+    match protocol_specs with [] -> [ Protocol.Push ] | specs -> specs
   in
   (* describe the graph once *)
   let probe_rng = Rng.of_int seed in

@@ -1,4 +1,3 @@
-module Rng = Rumor_prob.Rng
 module Alias = Rumor_prob.Alias
 module Graph = Rumor_graph.Graph
 

@@ -32,8 +32,9 @@ type report = {
 }
 
 let classify ~tolerance ~baseline ~current =
-  if baseline = current then Pass
-  else if baseline = 0.0 then Regressed (* a cost appeared out of nothing *)
+  if Float.equal baseline current then Pass
+  else if Float.equal baseline 0.0 then
+    Regressed (* a cost appeared out of nothing *)
   else if current > baseline *. (1.0 +. tolerance) then Regressed
   else if current < baseline *. (1.0 -. tolerance) then Improved
   else Pass
@@ -46,7 +47,8 @@ let check_metric ~(g : Aggregate.group) ~metric ~tolerance ~baseline ~current =
     baseline_mean = baseline;
     current_mean = current;
     ratio =
-      (if baseline = 0.0 then if current = 0.0 then 1.0 else infinity
+      (if Float.equal baseline 0.0 then
+         if Float.equal current 0.0 then 1.0 else infinity
        else current /. baseline);
     tolerance;
     status = classify ~tolerance ~baseline ~current;
@@ -92,7 +94,8 @@ let check ?(tol = default_tolerances) ~baseline ~current () =
 let regressions report =
   List.filter (fun c -> c.status = Regressed) report.checks
 
-let passed report = regressions report = [] && report.missing = []
+let passed report =
+  List.is_empty (regressions report) && List.is_empty report.missing
 
 (* --- snapshot persistence --------------------------------------------- *)
 

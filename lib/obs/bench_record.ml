@@ -100,8 +100,8 @@ let diff ~base ~current =
                 base_ns = b.time_ns;
                 current_ns = c.time_ns;
                 ratio =
-                  (if b.time_ns = 0.0 then
-                     if c.time_ns = 0.0 then 1.0 else infinity
+                  (if Float.equal b.time_ns 0.0 then
+                     if Float.equal c.time_ns 0.0 then 1.0 else infinity
                    else c.time_ns /. b.time_ns);
               })
       current.entries

@@ -182,7 +182,7 @@ let parse s =
         incr i;
         Obj (List.rev acc)
     | _ ->
-        if acc <> [] then begin
+        if not (List.is_empty acc) then begin
           expect ',';
           skip_ws ()
         end;
@@ -201,7 +201,7 @@ let parse s =
         incr i;
         List (List.rev acc)
     | _ ->
-        if acc <> [] then expect ',';
+        if not (List.is_empty acc) then expect ',';
         let v = parse_value () in
         skip_ws ();
         parse_list (v :: acc)

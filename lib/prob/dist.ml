@@ -27,8 +27,8 @@ let binomial_by_waiting g n p =
 let binomial g n p =
   if n < 0 then invalid_arg "Dist.binomial: n < 0";
   check_p "binomial" p;
-  if p = 0.0 || n = 0 then 0
-  else if p = 1.0 then n
+  if Float.equal p 0.0 || n = 0 then 0
+  else if Float.equal p 1.0 then n
   else if p > 0.5 then n - binomial_by_waiting g n (1.0 -. p)
   else if n <= 32 then begin
     (* direct simulation: cheap and exact for tiny n *)
@@ -42,7 +42,7 @@ let binomial g n p =
 
 let geometric g p =
   if not (p > 0.0 && p <= 1.0) then invalid_arg "Dist.geometric: p outside (0,1]";
-  if p = 1.0 then 1
+  if Float.equal p 1.0 then 1
   else begin
     let u = 1.0 -. Rng.float g 1.0 in
     let k = int_of_float (ceil (log u /. log1p (-.p))) in
@@ -51,7 +51,7 @@ let geometric g p =
 
 let rec poisson g lambda =
   if lambda < 0.0 then invalid_arg "Dist.poisson: lambda < 0";
-  if lambda = 0.0 then 0
+  if Float.equal lambda 0.0 then 0
   else if lambda < 30.0 then begin
     (* Knuth: multiply uniforms until the product drops below e^-lambda *)
     let threshold = exp (-.lambda) in

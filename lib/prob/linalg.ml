@@ -31,7 +31,7 @@ let solve a b =
     (* eliminate below *)
     for row = col + 1 to n - 1 do
       let factor = m.(row).(col) /. m.(col).(col) in
-      if factor <> 0.0 then begin
+      if not (Float.equal factor 0.0) then begin
         m.(row).(col) <- 0.0;
         for k = col + 1 to n - 1 do
           m.(row).(k) <- m.(row).(k) -. (factor *. m.(col).(k))

@@ -14,11 +14,12 @@ let linear_fit xs ys =
     sxy := !sxy +. (dx *. dy);
     syy := !syy +. (dy *. dy)
   done;
-  if !sxx = 0.0 then invalid_arg "Regress.linear_fit: degenerate x values";
+  if Float.equal !sxx 0.0 then
+    invalid_arg "Regress.linear_fit: degenerate x values";
   let slope = !sxy /. !sxx in
   let intercept = my -. (slope *. mx) in
   let r2 =
-    if !syy = 0.0 then 1.0 else !sxy *. !sxy /. (!sxx *. !syy)
+    if Float.equal !syy 0.0 then 1.0 else !sxy *. !sxy /. (!sxx *. !syy)
   in
   { slope; intercept; r2 }
 

@@ -47,7 +47,9 @@ let run ?obs ?lazy_walk rng g ~source ~agents ~max_time =
      active source), everyone there becomes informed *)
   let exchange_at v =
     let any_informed = List.exists (fun a -> informed.(a)) agents_at.(v) in
-    let source_hit = !source_active && v = source && agents_at.(v) <> [] in
+    let source_hit =
+      !source_active && v = source && not (List.is_empty agents_at.(v))
+    in
     if any_informed || source_hit then begin
       List.iter (inform v) agents_at.(v);
       if source_hit then source_active := false

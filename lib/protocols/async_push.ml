@@ -1,4 +1,3 @@
-module Rng = Rumor_prob.Rng
 module Dist = Rumor_prob.Dist
 module Graph = Rumor_graph.Graph
 module Event_queue = Rumor_des.Event_queue

@@ -1,4 +1,3 @@
-module Rng = Rumor_prob.Rng
 module Graph = Rumor_graph.Graph
 module Obs = Rumor_obs.Instrument
 

@@ -27,7 +27,7 @@ type t = {
   w_rng : Rng.t;       (* draws the shared w_u entries, in demand order *)
   walk_rng : Rng.t;    (* placement + uninformed-agent moves *)
   lists : Ivec.v array;
-  mutable cursor : int array;  (* next unconsumed index per vertex, visitx side *)
+  cursor : int array;  (* next unconsumed index per vertex, visitx side *)
   mutable visitx_done : bool;
 }
 

@@ -13,7 +13,7 @@ let run ?obs g ~source ~max_rounds () =
   let curve = Array.make (max_rounds + 1) 0 in
   curve.(0) <- 1;
   let t = ref 0 in
-  while !count < n && !frontier <> [] && !t < max_rounds do
+  while !count < n && (not (List.is_empty !frontier)) && !t < max_rounds do
     incr t;
     Obs.round_start obs !t;
     let next = ref [] in

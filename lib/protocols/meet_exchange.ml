@@ -1,5 +1,4 @@
 module Graph = Rumor_graph.Graph
-module Placement = Rumor_agents.Placement
 module Walkers = Rumor_agents.Walkers
 module Obs = Rumor_obs.Instrument
 

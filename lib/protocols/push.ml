@@ -32,7 +32,9 @@ let simulate ?traffic ?obs ?(failure_prob = 0.0) rng g ~source ~max_rounds tau =
       incr contacts;
       Obs.contact obs u v;
       (match traffic with Some tr -> Traffic.record tr u v | None -> ());
-      let delivered = failure_prob = 0.0 || not (Rng.bernoulli rng failure_prob) in
+      let delivered =
+        Float.equal failure_prob 0.0 || not (Rng.bernoulli rng failure_prob)
+      in
       if delivered && tau.(v) = max_int then begin
         tau.(v) <- !t;
         order.(!count) <- v;

@@ -50,6 +50,7 @@ let render t =
   List.iter (fun n -> Buffer.add_string buf ("note: " ^ n ^ "\n")) t.notes;
   Buffer.contents buf
 
+(* lint: allow R3 — Table.print is an explicit stdout convenience for CLIs *)
 let print t = print_string (render t)
 
 let csv_escape field =
@@ -79,7 +80,7 @@ let to_markdown t =
   Buffer.add_string buf
     ("|" ^ String.concat "|" (List.mapi (fun i _ -> marker i) t.header) ^ "|\n");
   List.iter (fun row -> Buffer.add_string buf (cells row)) t.rows;
-  if t.notes <> [] then begin
+  if not (List.is_empty t.notes) then begin
     Buffer.add_char buf '\n';
     List.iter (fun n -> Buffer.add_string buf ("- " ^ n ^ "\n")) t.notes
   end;

@@ -1,0 +1,5 @@
+(* R1 offender: polymorphic compare on a float array. *)
+let sort_copy (xs : float array) =
+  let s = Array.copy xs in
+  Array.sort compare s;
+  s

@@ -1,0 +1,1 @@
+val sort_copy : float array -> float array

@@ -1,0 +1,6 @@
+(* Same offense as r1_bad.ml, silenced by a suppression comment. *)
+let sort_copy (xs : float array) =
+  let s = Array.copy xs in
+  (* lint: allow R1 — fixture: exercising the suppression syntax *)
+  Array.sort compare s;
+  s

@@ -1,0 +1,2 @@
+(* R2 offender: global Random in lib scope. *)
+let roll () = Random.int 6

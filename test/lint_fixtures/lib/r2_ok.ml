@@ -1,0 +1,3 @@
+(* Same offense as r2_bad.ml, silenced on the line above. *)
+(* lint: allow R2 — fixture: exercising comment-above suppression *)
+let roll () = Random.int 6

@@ -1,0 +1,1 @@
+val roll : unit -> int

@@ -1,0 +1,2 @@
+(* R3 offender: stdout output from lib scope. *)
+let hello () = print_string "hello\n"

@@ -1,0 +1,1 @@
+val hello : unit -> unit

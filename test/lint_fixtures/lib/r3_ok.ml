@@ -1,0 +1,2 @@
+(* Same offense as r3_bad.ml, silenced by a trailing comment. *)
+let hello () = print_string "hello\n" (* lint: allow R3 — fixture *)

@@ -1,0 +1,2 @@
+(* R4 offender: a lib module with no matching .mli. *)
+let answer = 42

@@ -1,0 +1,2 @@
+(* lint: allow R4 — fixture: deliberately interface-free module *)
+let answer = 42

@@ -1,0 +1,1 @@
+val to_float : int -> float

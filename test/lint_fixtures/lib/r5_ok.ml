@@ -1,0 +1,2 @@
+(* Same offense as r5_bad.ml, silenced by a trailing comment. *)
+let to_float (x : int) : float = Obj.magic x (* lint: allow R5 — fixture *)

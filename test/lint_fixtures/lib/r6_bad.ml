@@ -1,0 +1,2 @@
+(* R6 offender: catch-all handler that swallows the exception. *)
+let safe_div a b = try a / b with _ -> 0

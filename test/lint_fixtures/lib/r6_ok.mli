@@ -1,0 +1,1 @@
+val safe_div : int -> int -> int

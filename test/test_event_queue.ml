@@ -81,7 +81,7 @@ let prop_dequeues_sorted =
       let out = List.init (List.length times) (fun _ ->
           match Q.pop q with Some (t, ()) -> t | None -> nan)
       in
-      out = List.sort compare out)
+      out = List.sort Float.compare out)
 
 let suite =
   [

@@ -7,7 +7,7 @@ module Table = Rumor_sim.Table
 let test_ids_unique () =
   let ids = List.map (fun (e : Experiments.t) -> e.Experiments.id) Experiments.all in
   Alcotest.(check int) "no duplicate ids" (List.length ids)
-    (List.length (List.sort_uniq compare ids))
+    (List.length (List.sort_uniq String.compare ids))
 
 let test_expected_ids_present () =
   List.iter

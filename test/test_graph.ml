@@ -35,7 +35,12 @@ let test_iter_edges_each_once () =
       seen := (u, v) :: !seen);
   Alcotest.(check int) "edge count" 3 (List.length !seen);
   Alcotest.(check bool) "all distinct" true
-    (List.length (List.sort_uniq compare !seen) = 3)
+    (List.length
+       (List.sort_uniq
+          (fun (u1, v1) (u2, v2) ->
+            match Int.compare u1 u2 with 0 -> Int.compare v1 v2 | c -> c)
+          !seen)
+    = 3)
 
 let test_fold_and_iter_neighbors () =
   let g = Graph.of_edges ~n:4 [ (1, 0); (1, 2); (1, 3) ] in
@@ -51,7 +56,7 @@ let test_edge_index_distinct () =
   for u = 0 to 2 do
     Graph.iter_neighbors g u (fun v -> indices := Graph.edge_index g u v :: !indices)
   done;
-  let distinct = List.sort_uniq compare !indices in
+  let distinct = List.sort_uniq Int.compare !indices in
   Alcotest.(check int) "one index per directed arc" 6 (List.length distinct);
   List.iter
     (fun i ->

@@ -1,0 +1,208 @@
+(* End-to-end tests for tools/lint/rumor_lint.exe: every rule's offender and
+   suppressed fixture, the finding format, the 0/1/2 exit-code contract, and
+   a seeded offense in a scratch copy of lib/prob/stats.ml.
+
+   The corpus layout is documented in lint_fixtures/README.md. All runs
+   shell out to the real executable, mirroring test_report.ml's CLI gate. *)
+
+let lint_exe =
+  Filename.concat
+    (Filename.concat (Filename.concat ".." "tools") "lint")
+    "rumor_lint.exe"
+
+let fixture_root = "lint_fixtures"
+let fixture name = Filename.concat (Filename.concat fixture_root "lib") name
+let rule_ids = [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6" ]
+
+let has_sub sub s =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.equal (String.sub s i m) sub || at (i + 1)) in
+  m = 0 || at 0
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+(* Run the linter; return its exit code and stdout lines. *)
+let run_lint args =
+  let out = Filename.temp_file "rumor_lint_out" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove out)
+    (fun () ->
+      let code =
+        Sys.command
+          (Filename.quote_command lint_exe args ~stdout:out ~stderr:"/dev/null")
+      in
+      (code, read_lines out))
+
+let with_temp_ml content f =
+  let path = Filename.temp_file "rumor_lint_case" ".ml" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc content);
+      f path)
+
+let guard_exe f = if Sys.file_exists lint_exe then f () else Alcotest.skip ()
+
+(* --- the corpus, end to end ------------------------------------------- *)
+
+let test_corpus_one_finding_per_rule () =
+  guard_exe @@ fun () ->
+  let code, lines = run_lint [ "--root"; fixture_root; fixture_root ] in
+  Alcotest.(check int) "corpus exits 1" 1 code;
+  Alcotest.(check int) "exactly one finding per rule" (List.length rule_ids)
+    (List.length lines);
+  List.iter
+    (fun id ->
+      let tag = Printf.sprintf "[%s " id in
+      let hits =
+        List.filter
+          (fun line ->
+            let bad = fixture (String.lowercase_ascii id ^ "_bad.ml") in
+            has_sub tag line && has_sub bad line)
+          lines
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "%s finding points at its offender" id)
+        1 (List.length hits))
+    rule_ids
+
+let test_offenders_exit_1 () =
+  guard_exe @@ fun () ->
+  List.iter
+    (fun id ->
+      let bad = fixture (String.lowercase_ascii id ^ "_bad.ml") in
+      let code, lines = run_lint [ "--root"; fixture_root; bad ] in
+      Alcotest.(check int) (bad ^ " exits 1") 1 code;
+      Alcotest.(check int) (bad ^ " has exactly one finding") 1
+        (List.length lines);
+      Alcotest.(check bool)
+        (bad ^ " finding is for exactly its rule")
+        true
+        (has_sub (Printf.sprintf "[%s " id) (List.hd lines)))
+    rule_ids
+
+let test_suppressed_exit_0 () =
+  guard_exe @@ fun () ->
+  List.iter
+    (fun id ->
+      let ok = fixture (String.lowercase_ascii id ^ "_ok.ml") in
+      let code, lines = run_lint [ "--root"; fixture_root; ok ] in
+      Alcotest.(check int) (ok ^ " exits 0") 0 code;
+      Alcotest.(check int) (ok ^ " has no findings") 0 (List.length lines))
+    rule_ids
+
+let test_finding_format () =
+  guard_exe @@ fun () ->
+  let code, lines =
+    run_lint [ "--root"; fixture_root; fixture "r1_bad.ml" ]
+  in
+  Alcotest.(check int) "exits 1" 1 code;
+  match lines with
+  | [ line ] -> (
+      (* file:line:col: [R1 poly-compare] message *)
+      match String.split_on_char ':' line with
+      | file :: ln :: col :: _rest ->
+          Alcotest.(check string) "file" (fixture "r1_bad.ml") file;
+          Alcotest.(check int) "line" 4 (int_of_string ln);
+          Alcotest.(check int) "col" 13 (int_of_string col)
+      | _ -> Alcotest.fail ("unparseable finding: " ^ line))
+  | _ -> Alcotest.fail "expected exactly one finding"
+
+(* --- exit codes ------------------------------------------------------- *)
+
+let test_clean_file_exits_0 () =
+  guard_exe @@ fun () ->
+  with_temp_ml "let double x = 2 * x\n" @@ fun path ->
+  let code, lines = run_lint [ path ] in
+  Alcotest.(check int) "exits 0" 0 code;
+  Alcotest.(check int) "no findings" 0 (List.length lines)
+
+let test_syntax_error_exits_2 () =
+  guard_exe @@ fun () ->
+  with_temp_ml "let = ( in\n" @@ fun path ->
+  let code, _ = run_lint [ path ] in
+  Alcotest.(check int) "exits 2" 2 code
+
+let test_missing_input_exits_2 () =
+  guard_exe @@ fun () ->
+  let code, _ = run_lint [ "no_such_dir_anywhere" ] in
+  Alcotest.(check int) "exits 2" 2 code
+
+let test_only_restricts_registry () =
+  guard_exe @@ fun () ->
+  let bad = fixture "r1_bad.ml" in
+  let code_other, lines_other =
+    run_lint [ "--root"; fixture_root; "--only"; "R2"; bad ]
+  in
+  Alcotest.(check int) "R1 offense invisible to --only R2" 0 code_other;
+  Alcotest.(check int) "no findings" 0 (List.length lines_other);
+  let code_same, _ =
+    run_lint [ "--root"; fixture_root; "--only"; "poly-compare"; bad ]
+  in
+  Alcotest.(check int) "rule names work in --only" 1 code_same
+
+(* --- the acceptance scenario: a seeded offense in stats.ml ------------ *)
+
+let stats_ml = Filename.concat (Filename.concat ".." "lib") "prob/stats.ml"
+
+let test_scratch_stats_copy_flagged () =
+  guard_exe @@ fun () ->
+  if not (Sys.file_exists stats_ml) then Alcotest.skip ()
+  else begin
+    let ic = open_in_bin stats_ml in
+    let orig =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let orig_lines = List.length (String.split_on_char '\n' orig) - 1 in
+    let seeded =
+      orig ^ "\nlet scratch_sort (xs : float array) = Array.sort compare xs\n"
+    in
+    with_temp_ml seeded @@ fun path ->
+    (* full registry at lib scope: R4 also fires (no .mli next to the temp
+       copy), so assert on the R1 finding specifically *)
+    let code, lines = run_lint [ "--scope"; "lib"; path ] in
+    Alcotest.(check int) "seeded copy exits 1" 1 code;
+    match List.filter (has_sub "[R1 poly-compare]") lines with
+    | [ line ] ->
+        let expected = Printf.sprintf ":%d:" (orig_lines + 2) in
+        Alcotest.(check bool)
+          (Printf.sprintf "points at the seeded line (%d)" (orig_lines + 2))
+          true
+          (has_sub expected line)
+    | _ -> Alcotest.fail "expected exactly one R1 finding in the seeded copy"
+  end
+
+let suite =
+  [
+    Alcotest.test_case "corpus: one finding per rule" `Quick
+      test_corpus_one_finding_per_rule;
+    Alcotest.test_case "offenders exit 1 with exactly their rule" `Quick
+      test_offenders_exit_1;
+    Alcotest.test_case "suppressed fixtures exit 0" `Quick
+      test_suppressed_exit_0;
+    Alcotest.test_case "finding format file:line:col" `Quick
+      test_finding_format;
+    Alcotest.test_case "clean file exits 0" `Quick test_clean_file_exits_0;
+    Alcotest.test_case "syntax error exits 2" `Quick test_syntax_error_exits_2;
+    Alcotest.test_case "missing input exits 2" `Quick
+      test_missing_input_exits_2;
+    Alcotest.test_case "--only restricts the registry" `Quick
+      test_only_restricts_registry;
+    Alcotest.test_case "seeded Array.sort compare in stats.ml copy" `Quick
+      test_scratch_stats_copy_flagged;
+  ]

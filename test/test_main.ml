@@ -48,4 +48,5 @@ let () =
       ("sim.curve_stats", Test_curve_stats.suite);
       ("obs.instrument", Test_obs.suite);
       ("obs.analysis", Test_report.suite);
+      ("tools.lint", Test_lint.suite);
     ]

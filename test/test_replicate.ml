@@ -27,7 +27,9 @@ let test_seed_changes_results () =
 let test_replications_vary () =
   let m = Replicate.measure ~seed:215 ~reps:10 push_on_clique in
   let distinct =
-    Array.to_list m.Replicate.times |> List.sort_uniq compare |> List.length
+    Array.to_list m.Replicate.times
+    |> List.sort_uniq Float.compare
+    |> List.length
   in
   Alcotest.(check bool) "not all identical" true (distinct > 1)
 

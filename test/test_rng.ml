@@ -160,7 +160,7 @@ let test_shuffle_is_permutation () =
   let a = Array.init 100 (fun i -> i) in
   Rng.shuffle g a;
   let sorted = Array.copy a in
-  Array.sort compare sorted;
+  Array.sort Int.compare sorted;
   Alcotest.(check (array int)) "same multiset" (Array.init 100 (fun i -> i)) sorted
 
 let test_shuffle_uniform_small () =

@@ -1,0 +1,28 @@
+(* A single lint finding, pointing at file:line:col. *)
+
+type t = {
+  rule : string;  (** rule id, e.g. "R1" *)
+  name : string;  (** rule short name, e.g. "poly-compare" *)
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, matching compiler convention *)
+  msg : string;
+}
+
+let make ~rule ~name ~file (loc : Location.t) msg =
+  let p = loc.loc_start in
+  { rule; name; file; line = p.pos_lnum; col = p.pos_cnum - p.pos_bol; msg }
+
+let order a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> (
+          match Int.compare a.col b.col with
+          | 0 -> String.compare a.rule b.rule
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let to_string f =
+  Printf.sprintf "%s:%d:%d: [%s %s] %s" f.file f.line f.col f.rule f.name f.msg

@@ -1,0 +1,20 @@
+(** A single lint finding, pointing at file:line:col. *)
+
+type t = {
+  rule : string;  (** rule id, e.g. "R1" *)
+  name : string;  (** rule short name, e.g. "poly-compare" *)
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, matching compiler convention *)
+  msg : string;
+}
+
+val make :
+  rule:string -> name:string -> file:string -> Location.t -> string -> t
+(** Build a finding at the start position of [loc]. *)
+
+val order : t -> t -> int
+(** Sort by file, then line, then column, then rule id. *)
+
+val to_string : t -> string
+(** ["file:line:col: [R1 poly-compare] message"] *)

@@ -1,0 +1,339 @@
+(* The rule registry.
+
+   Every rule is purely syntactic: we lint parsetrees, not typedtrees, so
+   "polymorphic at a non-immediate type" is approximated by what is visible
+   in the source (a bare [compare], a float/record/array/list/tuple literal
+   operand). That trades a few theoretical false negatives for a linter with
+   zero build-system coupling — it never needs cmt files or a type
+   environment.
+
+   To add a rule: write a [check : ctx -> structure -> Finding.t list]
+   (usually with [collect] and an [Ast_iterator]), give it an id/name/doc and
+   a scope filter, and append it to [all] below. Fixtures in
+   test/lint_fixtures and a case in test/test_lint.ml complete the job. *)
+
+open Parsetree
+
+let finding ~rule:(r : Rule.t) (ctx : Rule.ctx) (loc : Location.t) msg =
+  Finding.make ~rule:r.id ~name:r.name ~file:ctx.path loc msg
+
+(* Run [make_iter acc] over a structure and return the collected findings. *)
+let collect make_iter (str : structure) =
+  let acc = ref [] in
+  let it = make_iter acc in
+  it.Ast_iterator.structure it str;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Longident helpers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec strip_stdlib (li : Longident.t) : Longident.t =
+  match li with
+  | Ldot (Lident "Stdlib", s) -> Lident s
+  | Ldot (l, s) -> Ldot (strip_stdlib l, s)
+  | l -> l
+
+let rec components (li : Longident.t) : string list =
+  match li with
+  | Lident s -> [ s ]
+  | Ldot (l, s) -> components l @ [ s ]
+  | Lapply (a, b) -> components a @ components b
+
+(* ------------------------------------------------------------------ *)
+(* R1 poly-compare                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Operands whose type is syntactically visible as non-immediate: comparing
+   against these with (=)/(<)/... boxes through polymorphic compare. *)
+let rec non_immediate_operand e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_record _ | Pexp_array _ | Pexp_tuple _ -> true
+  | Pexp_construct ({ txt = Lident ("::" | "[]"); _ }, _) -> true
+  | Pexp_constraint (e, _) -> non_immediate_operand e
+  | _ -> false
+
+let is_float_literal e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_constraint ({ pexp_desc = Pexp_constant (Pconst_float _); _ }, _) ->
+      true
+  | _ -> false
+
+let rec r1 =
+  {
+    Rule.id = "R1";
+    name = "poly-compare";
+    doc =
+      "no polymorphic compare, no =/<> against non-immediate literals, no \
+       min/max on floats";
+    applies = Rule.everywhere;
+    check =
+      (fun ctx str ->
+        collect
+          (fun acc ->
+            let open Ast_iterator in
+            let expr self e =
+              (match e.pexp_desc with
+              | Pexp_ident { txt; loc } when strip_stdlib txt = Lident "compare"
+                ->
+                  acc :=
+                    finding ~rule:r1 ctx loc
+                      "polymorphic compare: use Float.compare / Int.compare / \
+                       String.compare or a monomorphic comparator"
+                    :: !acc
+              | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
+                  match strip_stdlib txt with
+                  | Lident (("=" | "<>") as op)
+                    when List.exists
+                           (fun (_, a) -> non_immediate_operand a)
+                           args ->
+                      acc :=
+                        finding ~rule:r1 ctx e.pexp_loc
+                          (Printf.sprintf
+                             "structural (%s) on a non-immediate operand: use \
+                              Float.equal/Float.compare or match on the shape"
+                             op)
+                        :: !acc
+                  | Lident (("min" | "max") as op)
+                    when List.exists (fun (_, a) -> is_float_literal a) args ->
+                      acc :=
+                        finding ~rule:r1 ctx e.pexp_loc
+                          (Printf.sprintf "polymorphic %s on float: use Float.%s"
+                             op op)
+                        :: !acc
+                  | _ -> ())
+              | _ -> ());
+              default_iterator.expr self e
+            in
+            { default_iterator with expr })
+          str);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* R2 no-global-random                                                *)
+(* ------------------------------------------------------------------ *)
+
+let mentions_random li = List.mem "Random" (components (strip_stdlib li))
+
+let rec r2 =
+  {
+    Rule.id = "R2";
+    name = "no-global-random";
+    doc = "no Random.* in lib/ — all randomness flows through Prob.Rng";
+    applies = Rule.lib_only;
+    check =
+      (fun ctx str ->
+        let msg =
+          "global Random in lib/: thread a Prob.Rng value instead so \
+           replicate seeds stay reproducible"
+        in
+        collect
+          (fun acc ->
+            let open Ast_iterator in
+            let expr self e =
+              (match e.pexp_desc with
+              | Pexp_ident { txt; loc } when mentions_random txt ->
+                  acc := finding ~rule:r2 ctx loc msg :: !acc
+              | _ -> ());
+              default_iterator.expr self e
+            in
+            let module_expr self m =
+              (match m.pmod_desc with
+              | Pmod_ident { txt; loc } when mentions_random txt ->
+                  acc := finding ~rule:r2 ctx loc msg :: !acc
+              | _ -> ());
+              default_iterator.module_expr self m
+            in
+            { default_iterator with expr; module_expr })
+          str);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* R3 no-stdout-in-lib                                                *)
+(* ------------------------------------------------------------------ *)
+
+let stdout_idents =
+  [
+    [ "print_string" ];
+    [ "print_bytes" ];
+    [ "print_char" ];
+    [ "print_int" ];
+    [ "print_float" ];
+    [ "print_endline" ];
+    [ "print_newline" ];
+    [ "stdout" ];
+    [ "Printf"; "printf" ];
+    [ "Format"; "printf" ];
+    [ "Format"; "print_string" ];
+    [ "Format"; "print_int" ];
+    [ "Format"; "print_float" ];
+    [ "Format"; "print_char" ];
+    [ "Format"; "print_newline" ];
+    [ "Format"; "print_space" ];
+    [ "Format"; "print_cut" ];
+    [ "Format"; "print_flush" ];
+    [ "Format"; "std_formatter" ];
+  ]
+
+let rec r3 =
+  {
+    Rule.id = "R3";
+    name = "no-stdout-in-lib";
+    doc = "no printing to stdout from lib/ — return values or use lib/obs";
+    applies = Rule.lib_only;
+    check =
+      (fun ctx str ->
+        collect
+          (fun acc ->
+            let open Ast_iterator in
+            let expr self e =
+              (match e.pexp_desc with
+              | Pexp_ident { txt; loc }
+                when List.mem (components (strip_stdlib txt)) stdout_idents ->
+                  acc :=
+                    finding ~rule:r3 ctx loc
+                      "stdout output from lib/: return values, take a \
+                       formatter, or report through lib/obs instrumentation"
+                    :: !acc
+              | _ -> ());
+              default_iterator.expr self e
+            in
+            { default_iterator with expr })
+          str);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* R4 mli-required                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let line1 path =
+  let pos =
+    { Lexing.pos_fname = path; pos_lnum = 1; pos_bol = 0; pos_cnum = 0 }
+  in
+  { Location.loc_start = pos; loc_end = pos; loc_ghost = true }
+
+let rec r4 =
+  {
+    Rule.id = "R4";
+    name = "mli-required";
+    doc = "every lib/**/*.ml has a matching .mli";
+    applies =
+      (fun ctx -> Rule.lib_only ctx && Filename.check_suffix ctx.path ".ml");
+    check =
+      (fun ctx _str ->
+        if ctx.mli_exists then []
+        else
+          [
+            finding ~rule:r4 ctx (line1 ctx.path)
+              "missing interface: add a .mli so the library's public surface \
+               stays explicit";
+          ]);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* R5 no-obj-magic                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rec r5 =
+  {
+    Rule.id = "R5";
+    name = "no-obj-magic";
+    doc = "no Obj.magic / Obj.repr / Obj.obj";
+    applies = Rule.everywhere;
+    check =
+      (fun ctx str ->
+        collect
+          (fun acc ->
+            let open Ast_iterator in
+            let expr self e =
+              (match e.pexp_desc with
+              | Pexp_ident { txt; loc } -> (
+                  match components (strip_stdlib txt) with
+                  | [ "Obj"; ("magic" | "repr" | "obj") ] ->
+                      acc :=
+                        finding ~rule:r5 ctx loc
+                          "Obj breaks the type system: redesign with a \
+                           variant or GADT instead"
+                        :: !acc
+                  | _ -> ())
+              | _ -> ());
+              default_iterator.expr self e
+            in
+            { default_iterator with expr })
+          str);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* R6 no-catchall                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec is_catch_all p =
+  match p.ppat_desc with
+  | Ppat_any | Ppat_var _ -> true
+  | Ppat_alias (p, _) -> is_catch_all p
+  | _ -> false
+
+(* Does the handler body syntactically reraise? *)
+let reraises body =
+  let found = ref false in
+  let open Ast_iterator in
+  let expr self e =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; _ } -> (
+        match components (strip_stdlib txt) with
+        | [ "raise" ] | [ "raise_notrace" ] | [ "Printexc"; "raise_with_backtrace" ]
+          ->
+            found := true
+        | _ -> ())
+    | _ -> ());
+    default_iterator.expr self e
+  in
+  let it = { default_iterator with expr } in
+  it.expr it body;
+  !found
+
+let rec r6 =
+  {
+    Rule.id = "R6";
+    name = "no-catchall";
+    doc = "no catch-all exception handler that swallows the exception";
+    applies = Rule.everywhere;
+    check =
+      (fun ctx str ->
+        let msg =
+          "catch-all handler swallows exceptions (Out_of_memory, Stack_overflow, \
+           bugs): match specific exceptions or reraise"
+        in
+        let check_case acc (c : case) ~pat =
+          if Option.is_none c.pc_guard && is_catch_all pat
+             && not (reraises c.pc_rhs)
+          then acc := finding ~rule:r6 ctx pat.ppat_loc msg :: !acc
+        in
+        collect
+          (fun acc ->
+            let open Ast_iterator in
+            let expr self e =
+              (match e.pexp_desc with
+              | Pexp_try (_, cases) ->
+                  List.iter (fun c -> check_case acc c ~pat:c.pc_lhs) cases
+              | Pexp_match (_, cases) ->
+                  List.iter
+                    (fun c ->
+                      match c.pc_lhs.ppat_desc with
+                      | Ppat_exception p -> check_case acc c ~pat:p
+                      | _ -> ())
+                    cases
+              | _ -> ());
+              default_iterator.expr self e
+            in
+            { default_iterator with expr })
+          str);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let all : Rule.t list = [ r1; r2; r3; r4; r5; r6 ]

@@ -1,0 +1,5 @@
+(** The rule registry. See rules.ml for how to add a rule. *)
+
+val all : Rule.t list
+(** All registered rules, in id order: R1 poly-compare, R2 no-global-random,
+    R3 no-stdout-in-lib, R4 mli-required, R5 no-obj-magic, R6 no-catchall. *)

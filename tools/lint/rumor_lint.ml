@@ -1,0 +1,254 @@
+(* rumor_lint: determinism and comparison discipline for the rumor tree.
+
+   Usage:
+     rumor_lint [options] <file-or-dir>...
+
+   Parses every .ml/.mli it is given (directories are walked recursively)
+   with compiler-libs and runs the rule registry over each implementation.
+   Exit codes mirror rumor_report's contract:
+
+     0  clean
+     1  at least one finding
+     2  parse or I/O error (reported on stderr)
+
+   Suppression: a line containing  (* lint: allow R1 — reason *)  silences
+   the listed rules on that line and the next one. *)
+
+let usage = "rumor_lint [options] <file-or-dir>...\noptions:"
+
+(* ------------------------------------------------------------------ *)
+(* CLI state                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let root = ref "."
+let forced_scope = ref None
+let only = ref None
+let excludes = ref []
+let list_rules = ref false
+let paths = ref []
+
+let set_scope s =
+  match Rule.scope_of_string s with
+  | Some sc -> forced_scope := Some sc
+  | None -> raise (Arg.Bad (Printf.sprintf "unknown scope %S" s))
+
+let set_only s =
+  let wanted =
+    String.split_on_char ',' s
+    |> List.concat_map (String.split_on_char ' ')
+    |> List.filter (fun t -> t <> "")
+    |> List.map String.lowercase_ascii
+  in
+  let selected =
+    List.filter
+      (fun (r : Rule.t) ->
+        List.mem (String.lowercase_ascii r.id) wanted
+        || List.mem (String.lowercase_ascii r.name) wanted)
+      Rules.all
+  in
+  match selected with
+  | [] -> raise (Arg.Bad (Printf.sprintf "--only %s selects no rules" s))
+  | _ :: _ -> only := Some selected
+
+let spec =
+  [
+    ( "--root",
+      Arg.Set_string root,
+      "DIR resolve lib/bin/bench/test scopes relative to DIR (default .)" );
+    ( "--scope",
+      Arg.String set_scope,
+      "S force scope for all inputs: lib|bin|bench|test|other (default: from \
+       path)" );
+    ( "--only",
+      Arg.String set_only,
+      "IDS run only these rules (comma-separated ids or names)" );
+    ( "--exclude",
+      Arg.String (fun s -> excludes := s :: !excludes),
+      "SUB skip paths containing SUB (repeatable)" );
+    ("--list-rules", Arg.Set list_rules, " print the rule table and exit");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* File collection                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let is_source f =
+  Filename.check_suffix f ".ml" || Filename.check_suffix f ".mli"
+
+let excluded path =
+  let has_sub sub =
+    let n = String.length path and m = String.length sub in
+    let rec at i = i + m <= n && (String.sub path i m = sub || at (i + 1)) in
+    m > 0 && at 0
+  in
+  List.exists has_sub !excludes
+
+let rec walk path acc =
+  if excluded path then acc
+  else if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list
+    |> List.filter (fun name ->
+           (not (String.length name > 0 && (name.[0] = '_' || name.[0] = '.'))))
+    |> List.fold_left (fun acc name -> walk (Filename.concat path name) acc) acc
+  else if is_source path then path :: acc
+  else acc
+
+let collect_files args =
+  List.fold_left (fun acc p -> walk p acc) [] args
+  |> List.sort_uniq String.compare
+
+(* ------------------------------------------------------------------ *)
+(* Scope resolution                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Path of [path] relative to [root], textually: enough for scope sniffing. *)
+let relativize ~root path =
+  let norm p =
+    if String.length p >= 2 && String.sub p 0 2 = "./" then
+      String.sub p 2 (String.length p - 2)
+    else p
+  in
+  let root = norm root and path = norm path in
+  if root = "." || root = "" then path
+  else
+    let root = if Filename.check_suffix root "/" then root else root ^ "/" in
+    let rl = String.length root in
+    if String.length path > rl && String.sub path 0 rl = root then
+      String.sub path rl (String.length path - rl)
+    else path
+
+let scope_of_path path =
+  match !forced_scope with
+  | Some s -> s
+  | None -> (
+      let rel = relativize ~root:!root path in
+      match String.split_on_char '/' rel with
+      | first :: _ :: _ -> (
+          (* only a directory component counts, hence the two-element match *)
+          match Rule.scope_of_string first with
+          | Some s -> s
+          | None -> Rule.Other)
+      | _ -> Rule.Other)
+
+(* ------------------------------------------------------------------ *)
+(* Linting one file                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = Findings of Finding.t list | Failed of string
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_error_message exn =
+  match Location.error_of_exn exn with
+  | Some (`Ok report) -> Format.asprintf "%a" Location.print_report report
+  | Some `Already_displayed | None -> Printexc.to_string exn
+
+let lint_file rules path =
+  match read_file path with
+  | exception Sys_error msg -> Failed msg
+  | source -> (
+      let lexbuf = Lexing.from_string source in
+      Location.init lexbuf path;
+      let parsed =
+        if Filename.check_suffix path ".mli" then (
+          (* interfaces are parsed so syntax errors surface as exit 2, but
+             the rules only inspect implementations *)
+          match Parse.interface lexbuf with
+          | (_ : Parsetree.signature) -> Ok []
+          (* lint: allow R6 — any parse failure becomes an exit-2 diagnostic *)
+          | exception exn -> Error (parse_error_message exn))
+        else
+          match Parse.implementation lexbuf with
+          | str -> Ok [ str ]
+          (* lint: allow R6 — any parse failure becomes an exit-2 diagnostic *)
+          | exception exn -> Error (parse_error_message exn)
+      in
+      match parsed with
+      | Error msg -> Failed msg
+      | Ok structures ->
+          let ctx =
+            {
+              Rule.path;
+              scope = scope_of_path path;
+              mli_exists =
+                Filename.check_suffix path ".ml"
+                && Sys.file_exists (Filename.remove_extension path ^ ".mli");
+            }
+          in
+          let suppressions = Suppress.scan source in
+          let findings =
+            List.concat_map
+              (fun str ->
+                List.concat_map
+                  (fun (r : Rule.t) ->
+                    if r.applies ctx then r.check ctx str else [])
+                  rules)
+              structures
+            |> List.filter (fun (f : Finding.t) ->
+                   not
+                     (Suppress.allows suppressions ~line:f.line ~id:f.rule
+                        ~name:f.name))
+          in
+          Findings findings)
+
+(* ------------------------------------------------------------------ *)
+(* Main                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let print_rule_table () =
+  List.iter
+    (fun (r : Rule.t) ->
+      let scopes =
+        if r.applies { Rule.path = ""; scope = Rule.Bin; mli_exists = true }
+        then "everywhere"
+        else "lib/ only"
+      in
+      Printf.printf "%s  %-18s %-10s %s\n" r.id r.name scopes r.doc)
+    Rules.all
+
+let () =
+  Arg.parse spec (fun p -> paths := p :: !paths) usage;
+  if !list_rules then (
+    print_rule_table ();
+    exit 0);
+  (match !paths with
+  | [] ->
+      prerr_endline
+        "rumor_lint: no inputs (try: rumor_lint lib bin bench test)";
+      exit 2
+  | _ :: _ -> ());
+  let rules = match !only with Some rs -> rs | None -> Rules.all in
+  let files =
+    match collect_files (List.rev !paths) with
+    | files -> files
+    | exception Sys_error msg ->
+        Printf.eprintf "rumor_lint: %s\n" msg;
+        exit 2
+  in
+  let findings, errors =
+    List.fold_left
+      (fun (fs, errs) path ->
+        match lint_file rules path with
+        | Findings f -> (f @ fs, errs)
+        | Failed msg -> (fs, (path, msg) :: errs))
+      ([], []) files
+  in
+  let findings = List.sort Finding.order findings in
+  List.iter (fun f -> print_endline (Finding.to_string f)) findings;
+  List.iter
+    (fun (path, msg) -> Printf.eprintf "rumor_lint: %s: %s\n" path msg)
+    (List.rev errors);
+  let n = List.length findings in
+  if n > 0 then
+    Printf.eprintf "rumor_lint: %d finding%s in %d file%s\n" n
+      (if n = 1 then "" else "s")
+      (List.length files)
+      (if List.length files = 1 then "" else "s");
+  match (errors, findings) with
+  | _ :: _, _ -> exit 2
+  | [], _ :: _ -> exit 1
+  | [], [] -> exit 0

@@ -1,0 +1,77 @@
+(* Per-line suppression comments.
+
+   A source line containing
+
+     (* lint: allow R1 — float sort is intentional *)
+
+   suppresses findings for rule R1 (id or short name, case-insensitive)
+   reported on that line or on the line directly below, so both trailing
+   comments and comment-above styles work. Several rules may be listed,
+   separated by spaces or commas; everything after the rule list is free-form
+   justification. *)
+
+type t = (int, string list) Hashtbl.t
+
+let marker = "lint: allow"
+
+let is_token_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '-' || c = '_'
+
+(* Tokens following the marker on the same line. Justification text is
+   harmless here: [allows] only ever tests membership of a known rule id or
+   name, so stray words never enable anything. *)
+let tokens_after line start =
+  let n = String.length line in
+  let rec skip_sep i =
+    if i < n && (line.[i] = ' ' || line.[i] = '\t' || line.[i] = ',') then
+      skip_sep (i + 1)
+    else i
+  in
+  let rec take i j =
+    if j < n && is_token_char line.[j] then take i (j + 1)
+    else (String.sub line i (j - i), j)
+  in
+  let rec loop acc i =
+    let i = skip_sep i in
+    if i >= n || not (is_token_char line.[i]) then List.rev acc
+    else
+      let tok, j = take i i in
+      loop (String.lowercase_ascii tok :: acc) j
+  in
+  loop [] start
+
+let find_marker line =
+  let n = String.length line and m = String.length marker in
+  let rec search i =
+    if i + m > n then None
+    else if String.sub line i m = marker then Some (i + m)
+    else search (i + 1)
+  in
+  search 0
+
+let scan source : t =
+  let table = Hashtbl.create 8 in
+  let lines = String.split_on_char '\n' source in
+  List.iteri
+    (fun idx line ->
+      match find_marker line with
+      | None -> ()
+      | Some start -> (
+          match tokens_after line start with
+          | [] -> ()
+          | toks -> Hashtbl.replace table (idx + 1) toks))
+    lines;
+  table
+
+let allows table ~line ~id ~name =
+  let hit l =
+    match Hashtbl.find_opt table l with
+    | None -> false
+    | Some toks ->
+        List.mem (String.lowercase_ascii id) toks
+        || List.mem (String.lowercase_ascii name) toks
+  in
+  hit line || hit (line - 1)

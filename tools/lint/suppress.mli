@@ -1,0 +1,12 @@
+(** Per-line suppression comments: [(* lint: allow R1 — reason *)] on a line
+    suppresses findings for the listed rules on that line and the one directly
+    below it. *)
+
+type t
+
+val scan : string -> t
+(** Scan raw source text for suppression comments. *)
+
+val allows : t -> line:int -> id:string -> name:string -> bool
+(** [allows t ~line ~id ~name] is true when a suppression for rule [id] (or
+    its short [name], case-insensitive) covers [line]. *)
