@@ -26,12 +26,12 @@ module P = Rumor_protocols
 (* Part 1: the paper's tables and figures                              *)
 (* ------------------------------------------------------------------ *)
 
-let run_tables ?metrics profile ~seed =
+let run_tables ?metrics ~jobs profile ~seed =
   print_endline "=====================================================================";
   print_endline " Part 1: paper reproduction tables";
   print_endline " (one experiment per figure panel / theorem; see DESIGN.md section 3)";
   print_endline "=====================================================================";
-  let results = Experiments.run_all ?metrics profile ~seed in
+  let results = Experiments.run_all ?metrics ~jobs profile ~seed in
   List.iter
     (fun ((e : Experiments.t), tables) ->
       Printf.printf "\n### %s: %s [%s]\n\n" e.Experiments.id e.Experiments.title
@@ -133,6 +133,45 @@ let substrate_tests () =
           fun () -> ignore (Rumor_graph.Hitting.hitting_times small 0)));
   ]
 
+let human_ns t =
+  if t > 1e9 then Printf.sprintf "%.2f s" (t /. 1e9)
+  else if t > 1e6 then Printf.sprintf "%.2f ms" (t /. 1e6)
+  else if t > 1e3 then Printf.sprintf "%.2f us" (t /. 1e3)
+  else Printf.sprintf "%.1f ns" t
+
+(* Macro wall-clock entries: whole replication batches through
+   Replicate.broadcast_times, the code path --jobs parallelizes.  Names are
+   stable across jobs settings so `rumor_report compare BENCH_a.json
+   BENCH_b.json` of two snapshots taken at different --jobs shows the
+   speedup as the ratio column; the snapshot's [jobs] field tells the runs
+   apart. *)
+let run_macro ~jobs =
+  print_endline "=====================================================================";
+  Printf.printf " Part 3: macro replication wall-clock (jobs %d)\n" jobs;
+  print_endline "=====================================================================";
+  let module Replicate = Rumor_sim.Replicate in
+  let module Protocol = Rumor_sim.Protocol in
+  let agents = Rumor_agents.Placement.Linear 1.0 in
+  let graph rng =
+    (Rumor_graph.Gen_random.random_regular_connected rng ~n:2048 ~d:8, 0)
+  in
+  let time name spec =
+    let t0 = Unix.gettimeofday () in
+    let m =
+      Replicate.broadcast_times ~jobs ~seed:42 ~reps:12 ~graph ~spec
+        ~max_rounds:100_000 ()
+    in
+    let dt_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+    Printf.printf "%-40s %15s  (mean bt %.1f)\n" name (human_ns dt_ns)
+      m.Replicate.summary.Rumor_prob.Stats.mean;
+    { Rumor_obs.Bench_record.name; time_ns = dt_ns; r_square = nan }
+  in
+  [
+    time "replicate/push/regular-2048x12" Protocol.Push;
+    time "replicate/visit-exchange/regular-2048x12"
+      (Protocol.Visit_exchange { agents; laziness = Protocol.Lazy_auto });
+  ]
+
 let run_micro () =
   print_endline "=====================================================================";
   print_endline " Part 2: engine microbenchmarks (Bechamel, monotonic clock)";
@@ -157,14 +196,8 @@ let run_micro () =
         let estimate =
           match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> nan
         in
-        let human t =
-          if t > 1e9 then Printf.sprintf "%.2f s" (t /. 1e9)
-          else if t > 1e6 then Printf.sprintf "%.2f ms" (t /. 1e6)
-          else if t > 1e3 then Printf.sprintf "%.2f us" (t /. 1e3)
-          else Printf.sprintf "%.1f ns" t
-        in
         let r2 = match Analyze.OLS.r_square ols with Some r -> r | None -> nan in
-        Printf.printf "%-40s %15s %8.3f\n" name (human estimate) r2;
+        Printf.printf "%-40s %15s %8.3f\n" name (human_ns estimate) r2;
         { Rumor_obs.Bench_record.name; time_ns = estimate; r_square = r2 })
       rows
   in
@@ -174,23 +207,27 @@ let run_micro () =
 
 open Cmdliner
 
-let main full tables_only micro_only seed metrics bench_json =
+let main full tables_only micro_only seed metrics bench_json jobs =
+  if jobs < 0 then begin
+    Printf.eprintf "bench: bad --jobs %d (want >= 0; 0 = all cores)\n" jobs;
+    exit 2
+  end;
   let profile = if full then Experiments.Full else Experiments.Quick in
   let t0 = Unix.gettimeofday () in
   if not micro_only then begin
     match metrics with
-    | None -> run_tables profile ~seed
+    | None -> run_tables ~jobs profile ~seed
     | Some path ->
         Rumor_obs.Run_record.with_jsonl_file path (fun sink ->
-            run_tables ~metrics:sink profile ~seed);
+            run_tables ~metrics:sink ~jobs profile ~seed);
         Printf.printf "wrote per-replicate metrics to %s\n" path
   end;
   if not tables_only then begin
-    let entries = run_micro () in
+    let entries = run_micro () @ run_macro ~jobs in
     let path =
       Option.value bench_json ~default:(Printf.sprintf "BENCH_%d.json" seed)
     in
-    Rumor_obs.Bench_record.save path { Rumor_obs.Bench_record.seed; entries };
+    Rumor_obs.Bench_record.save path { Rumor_obs.Bench_record.seed; jobs; entries };
     Printf.printf "\nwrote microbenchmark snapshot to %s\n" path
   end;
   Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)
@@ -226,12 +263,20 @@ let bench_json_arg =
           "Where to write the microbenchmark snapshot (default \
            BENCH_<seed>.json).")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Replication parallelism for the tables and the macro entries (0 = \
+           all cores); recorded in the BENCH snapshot.")
+
 let cmd =
   let doc = "paper-reproduction tables and engine microbenchmarks" in
   Cmd.v
     (Cmd.info "bench" ~doc)
     Term.(
       const main $ full_arg $ tables_only_arg $ micro_only_arg $ seed_arg
-      $ metrics_arg $ bench_json_arg)
+      $ metrics_arg $ bench_json_arg $ jobs_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -231,8 +231,9 @@ let compare_bench (base : Bench_record.t) (current : Bench_record.t) =
   Table.print
     (Table.make
        ~title:
-         (Printf.sprintf "microbenchmarks: seed %d -> seed %d"
-            base.Bench_record.seed current.Bench_record.seed)
+         (Printf.sprintf "microbenchmarks: seed %d (jobs %d) -> seed %d (jobs %d)"
+            base.Bench_record.seed base.Bench_record.jobs
+            current.Bench_record.seed current.Bench_record.jobs)
        ~claim:"" ~aligns:[ Table.Left ]
        ~header:[ "benchmark"; "old"; "new"; "ratio" ]
        rows);

@@ -41,12 +41,16 @@ let laziness_of_string = function
   | other -> Error (Printf.sprintf "bad laziness %S (off|on|auto)" other)
 
 let run graph_text protocols source_override seed reps max_rounds alpha lazy_text
-    show_curve metrics_path =
+    show_curve metrics_path jobs =
   let ( let* ) r f = match r with Ok v -> f v | Error m -> `Error (false, m) in
   let* spec =
     match Graph_spec.parse graph_text with Ok s -> Ok s | Error m -> Error m
   in
   let* laziness = laziness_of_string lazy_text in
+  let* () =
+    if jobs >= 0 then Ok ()
+    else Error (Printf.sprintf "bad --jobs %d (want >= 0; 0 = all cores)" jobs)
+  in
   let* protocol_specs =
     List.fold_left
       (fun acc name ->
@@ -102,8 +106,8 @@ let run graph_text protocols source_override seed reps max_rounds alpha lazy_tex
           in
           let m =
             Replicate.broadcast_times ?sink
-              ~graph_name:(Graph_spec.to_string spec) ~seed ~reps ~graph ~spec:p
-              ~max_rounds ()
+              ~graph_name:(Graph_spec.to_string spec) ~jobs ~seed ~reps ~graph
+              ~spec:p ~max_rounds ()
           in
           let s = m.Replicate.summary in
           Printf.printf "%-14s mean %.1f  median %.1f  min %.0f  max %.0f%s\n"
@@ -187,6 +191,13 @@ let metrics_arg =
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Run replications on $(docv) domains (0 = all cores).  Results and \
+     metrics are bit-identical for every value; only wall-clock changes."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let cmd =
   let doc = "run rumor-spreading protocols on a graph" in
   let man =
@@ -203,6 +214,7 @@ let cmd =
     Term.(
       ret
         (const run $ graph_arg $ protocol_arg $ source_arg $ seed_arg $ reps_arg
-       $ max_rounds_arg $ alpha_arg $ lazy_arg $ curve_arg $ metrics_arg))
+       $ max_rounds_arg $ alpha_arg $ lazy_arg $ curve_arg $ metrics_arg
+       $ jobs_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -1,5 +1,5 @@
 type entry = { name : string; time_ns : float; r_square : float }
-type t = { seed : int; entries : entry list }
+type t = { seed : int; jobs : int; entries : entry list }
 
 let schema = "rumor-bench/1"
 
@@ -9,6 +9,7 @@ let to_json t =
        [
          ("schema", Json.String schema);
          ("seed", Json.Int t.seed);
+         ("jobs", Json.Int t.jobs);
          ( "entries",
            Json.List
              (List.map
@@ -42,9 +43,19 @@ let of_json text =
     | _ -> Error "not a bench snapshot (no \"schema\" field)"
   in
   let* seed = field j "seed" Json.to_int in
+  (* [jobs] arrived after the first snapshots shipped; absent means the
+     sequential engine of those runs *)
+  let* jobs =
+    match Json.member "jobs" j with
+    | None -> Ok 1
+    | Some v -> (
+        match Json.to_int v with
+        | Some n -> Ok n
+        | None -> Error "field \"jobs\" has the wrong type")
+  in
   let* items = field j "entries" Json.to_list in
   let rec go acc = function
-    | [] -> Ok { seed; entries = List.rev acc }
+    | [] -> Ok { seed; jobs; entries = List.rev acc }
     | item :: rest -> (
         let entry =
           let* name = field item "name" Json.to_string in

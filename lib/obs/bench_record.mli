@@ -11,7 +11,13 @@ type entry = {
   r_square : float;  (** fit quality; [nan] when unavailable *)
 }
 
-type t = { seed : int; entries : entry list }
+type t = {
+  seed : int;
+  jobs : int;
+      (** replication parallelism the run used; snapshots written before the
+          field existed read back as [1] *)
+  entries : entry list;
+}
 
 val to_json : t -> string
 val of_json : string -> (t, string) result

@@ -1,0 +1,66 @@
+(* A deliberately small fork/join pool: [create] only fixes the parallelism
+   degree; each [init]/[map] spawns its workers, drains a shared atomic
+   counter in chunks, and joins everything before returning.  Spawning per
+   call (rather than parking persistent workers on a condition variable)
+   keeps teardown trivially correct — no domain outlives the call that
+   needed it — and the spawn cost (~tens of microseconds per domain) is
+   noise against the replication workloads this pool exists for. *)
+
+type t = { jobs : int }
+
+let create ~jobs =
+  if jobs < 0 then invalid_arg "Pool.create: jobs < 0";
+  let jobs = if jobs = 0 then Domain.recommended_domain_count () else jobs in
+  { jobs = max 1 jobs }
+
+let jobs t = t.jobs
+
+(* First failure wins; the losers of the compare-and-set race are dropped,
+   and the remaining workers stop claiming new chunks. *)
+type failure = { exn : exn; bt : Printexc.raw_backtrace }
+
+let init t n f =
+  if n < 0 then invalid_arg "Pool.init: negative length";
+  if t.jobs = 1 || n <= 1 then Array.init n f
+  else begin
+    let workers = min t.jobs n in
+    (* Small chunks load-balance the heterogeneous per-item costs typical of
+       simulation reps (capped runs cost orders of magnitude more than fast
+       ones); one atomic increment per chunk is cheap at that granularity. *)
+    let chunk = max 1 (n / (workers * 8)) in
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failed = Atomic.make None in
+    let rec drain () =
+      let start = Atomic.fetch_and_add next chunk in
+      if start < n && Option.is_none (Atomic.get failed) then begin
+        let stop = min n (start + chunk) in
+        for i = start to stop - 1 do
+          results.(i) <- Some (f i)
+        done;
+        drain ()
+      end
+    in
+    let work () =
+      try drain ()
+      (* the first failure is stashed, then re-raised after every domain joins *)
+      (* lint: allow R6 — stash-and-reraise-after-join, not a swallow *)
+      with exn ->
+        let bt = Printexc.get_raw_backtrace () in
+        ignore (Atomic.compare_and_set failed None (Some { exn; bt }))
+    in
+    let domains = List.init (workers - 1) (fun _ -> Domain.spawn work) in
+    (* the calling domain is worker number [workers], so [jobs] really is
+       the parallelism degree, not jobs + 1 *)
+    work ();
+    List.iter Domain.join domains;
+    match Atomic.get failed with
+    | Some { exn; bt } -> Printexc.raise_with_backtrace exn bt
+    | None ->
+        Array.map
+          (function Some v -> v | None -> assert false (* unreachable: every
+            index was claimed and no worker failed *))
+          results
+  end
+
+let map t f a = init t (Array.length a) (fun i -> f a.(i))

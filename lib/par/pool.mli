@@ -1,0 +1,41 @@
+(** A small fork/join domain pool for replicated simulations.
+
+    [Pool] is the only module in the tree allowed to touch [Domain] and
+    [Atomic] (lint rule R7 confines concurrency primitives to [lib/par/]).
+    Work is scheduled in chunks off a shared atomic counter, so a slow item
+    never serializes the rest of its pre-assigned stripe; all spawned
+    domains are joined before [init]/[map] returns, even when a worker
+    raises.
+
+    The pool runs item computations concurrently but promises nothing about
+    their order.  Callers that need deterministic output must make each
+    item's computation self-contained — see {!Rumor_sim.Replicate}, which
+    pre-splits one RNG per replication in index order and defers all
+    observable effects to an ordered pass after the join. *)
+
+type t
+(** A parallelism degree.  Creating a pool allocates nothing and spawns no
+    domains; workers are forked per {!init}/{!map} call and joined before it
+    returns, so a pool value can be kept and reused freely. *)
+
+val create : jobs:int -> t
+(** [create ~jobs] is a pool running [jobs] workers per call, the calling
+    domain included — [jobs = 1] never spawns and degrades to the plain
+    sequential loop.  [jobs = 0] means [Domain.recommended_domain_count ()].
+    @raise Invalid_argument if [jobs < 0]. *)
+
+val jobs : t -> int
+(** The resolved parallelism degree (after the [0] default expansion). *)
+
+val init : t -> int -> (int -> 'a) -> 'a array
+(** [init t n f] is [Array.init n f] computed by [jobs t] workers.  [f] is
+    called exactly once per index on some worker domain, in no particular
+    order; indices never overlap, so [f] may freely write to per-index slots
+    of shared arrays.  If any call raises, the first failure (in completion
+    order, not index order) is re-raised with its backtrace after all
+    workers have been joined; remaining workers stop at their next chunk
+    boundary.
+    @raise Invalid_argument if [n < 0]. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map t f a] is [Array.map f a] computed like {!init}. *)

@@ -52,6 +52,19 @@ let bits64 g =
 
 let split g = create (bits64 g)
 
+let split_n g n =
+  if n < 0 then invalid_arg "Rng.split_n: negative count";
+  if n = 0 then [||]
+  else begin
+    (* an explicit loop, not Array.init: the children must be split off [g]
+       in index order, and Array.init's evaluation order is unspecified *)
+    let children = Array.make n g in
+    for i = 0 to n - 1 do
+      children.(i) <- split g
+    done;
+    children
+  end
+
 let int g bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   if bound land (bound - 1) = 0 then

@@ -28,6 +28,14 @@ val split : t -> t
     statistically independent of [g]'s future output.  Used to give each
     replication of an experiment its own stream. *)
 
+val split_n : t -> int -> t array
+(** [split_n g n] is [n] children split off [g], guaranteed to be in split
+    order: element [i] is the [(i+1)]-th call of [split g].  Pre-splitting a
+    whole batch this way pins the child-to-replication assignment before any
+    work is scheduled, which is what makes parallel replication
+    ({!Rumor_par.Pool}) bit-identical to the sequential run.
+    @raise Invalid_argument if [n < 0]. *)
+
 val bits64 : t -> int64
 (** [bits64 g] is the next raw 64-bit output. *)
 

@@ -38,9 +38,19 @@ let with_metrics_sink sink f =
   metrics_sink := Some sink;
   Fun.protect ~finally:(fun () -> metrics_sink := saved) f
 
+(* Same dynamic-scoping trick for the replication parallelism degree, so
+   experiment closures need no threading either; cell results are identical
+   for every setting (see Replicate). *)
+let current_jobs = ref 1
+
+let with_jobs jobs f =
+  let saved = !current_jobs in
+  current_jobs := jobs;
+  Fun.protect ~finally:(fun () -> current_jobs := saved) f
+
 let measure_cell ~seed ~reps ~graph ~spec ~max_rounds =
-  Replicate.broadcast_times ?sink:!metrics_sink ~seed ~reps ~graph ~spec
-    ~max_rounds ()
+  Replicate.broadcast_times ?sink:!metrics_sink ~jobs:!current_jobs ~seed ~reps
+    ~graph ~spec ~max_rounds ()
 
 let time_cell (m : Replicate.measurement) =
   let s = m.summary in
@@ -1682,7 +1692,7 @@ let find id =
   let id = String.uppercase_ascii id in
   List.find_opt (fun e -> String.uppercase_ascii e.id = id) all
 
-let run_all ?ids ?metrics profile ~seed =
+let run_all ?ids ?metrics ?(jobs = 1) profile ~seed =
   let selected =
     match ids with
     | None -> all
@@ -1704,4 +1714,4 @@ let run_all ?ids ?metrics profile ~seed =
           (fun r -> sink { r with Rumor_obs.Run_record.graph = e.id })
           (fun () -> e.run profile ~seed)
   in
-  List.map (fun e -> (e, run_one e)) selected
+  with_jobs jobs (fun () -> List.map (fun e -> (e, run_one e)) selected)

@@ -36,6 +36,7 @@ val find : string -> t option
 val run_all :
   ?ids:string list ->
   ?metrics:Rumor_obs.Run_record.sink ->
+  ?jobs:int ->
   profile ->
   seed:int ->
   (t * Table.t list) list
@@ -43,9 +44,19 @@ val run_all :
     When [metrics] is given, every replicated cell measurement emits one
     {!Rumor_obs.Run_record.t} to it, with the record's [graph] field set to
     the experiment id (experiments build their graphs from closures, so the
-    id is the most useful label available). *)
+    id is the most useful label available).
+
+    [jobs] (default [1]; [0] = all cores) runs each cell's replications on
+    that many domains via {!Replicate.broadcast_times} — tables and metrics
+    are bit-identical for every setting.  Only the replicated cell
+    measurements parallelize; the invariant-checking experiments (E9, A5–A8,
+    R7, R8) drive their own sequential loops and ignore it. *)
 
 val with_metrics_sink : Rumor_obs.Run_record.sink -> (unit -> 'a) -> 'a
 (** [with_metrics_sink sink f] installs [sink] for the dynamic extent of
     [f]: every cell measured by any experiment run within emits its run
     records there.  Restores the previous sink afterwards, even on raise. *)
+
+val with_jobs : int -> (unit -> 'a) -> 'a
+(** [with_jobs jobs f] sets the replication parallelism degree for the
+    dynamic extent of [f], like {!with_metrics_sink} does for the sink. *)

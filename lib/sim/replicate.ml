@@ -3,6 +3,7 @@ module Stats = Rumor_prob.Stats
 module Graph = Rumor_graph.Graph
 module Run_result = Rumor_protocols.Run_result
 module Run_record = Rumor_obs.Run_record
+module Pool = Rumor_par.Pool
 
 type measurement = {
   times : float array;
@@ -21,14 +22,25 @@ let () =
              rep rounds_run)
     | _ -> None)
 
-let measure ?(on_capped = `Keep) ?record ~seed ~reps f =
+let measure ?(on_capped = `Keep) ?record ?(jobs = 1) ~seed ~reps f =
   if reps <= 0 then invalid_arg "Replicate.measure: reps <= 0";
   let master = Rng.of_int seed in
+  (* One child generator per rep, split in rep order on the master before
+     anything runs: the (seed, rep) -> stream assignment is fixed up front,
+     so results are bit-identical however the pool schedules the reps. *)
+  let rngs = Rng.split_n master reps in
+  let pool = Pool.create ~jobs in
+  let runs =
+    Pool.init pool reps (fun rep -> Run_record.timed (fun () -> f ~rep rngs.(rep)))
+  in
+  (* Ordered post-join pass: [record] fires in ascending rep order (a JSONL
+     sink sees exactly the sequential stream, never interleaved), and under
+     [`Fail] the raised rep is the lowest-numbered capped one, as it would
+     be sequentially. *)
   let capped = ref 0 in
   let times =
     Array.init reps (fun rep ->
-        let rng = Rng.split master in
-        let result, wall_seconds, gc = Run_record.timed (fun () -> f rng) in
+        let result, wall_seconds, gc = runs.(rep) in
         (match record with
         | Some r -> r ~rep ~result ~wall_seconds ~gc
         | None -> ());
@@ -44,11 +56,11 @@ let measure ?(on_capped = `Keep) ?record ~seed ~reps f =
   in
   { times; capped = !capped; summary = Stats.summarize times }
 
-let broadcast_times ?on_capped ?sink ?(graph_name = "custom") ~seed ~reps ~graph
-    ~spec ~max_rounds () =
-  (* [graph rng] re-samples per replication inside [f], so the record
-     callback learns |V| through this ref rather than a return value. *)
-  let last_n = ref 0 in
+let broadcast_times ?on_capped ?sink ?(graph_name = "custom") ?jobs ~seed ~reps
+    ~graph ~spec ~max_rounds () =
+  (* [graph rng] re-samples per replication inside [f]; each rep writes |V|
+     to its own slot, read back by the rep-ordered record pass. *)
+  let vertices = Array.make (max reps 1) 0 in
   let record =
     Option.map
       (fun sink ~rep ~result ~wall_seconds ~gc ->
@@ -58,10 +70,10 @@ let broadcast_times ?on_capped ?sink ?(graph_name = "custom") ~seed ~reps ~graph
             rep;
             graph = graph_name;
             protocol = Protocol.name spec;
-            vertices = !last_n;
+            vertices = vertices.(rep);
             broadcast_time = result.Run_result.broadcast_time;
             rounds_run = result.Run_result.rounds_run;
-            capped = result.Run_result.broadcast_time = None;
+            capped = Option.is_none result.Run_result.broadcast_time;
             contacts = result.Run_result.contacts;
             informed_curve = result.Run_result.informed_curve;
             wall_seconds;
@@ -69,9 +81,9 @@ let broadcast_times ?on_capped ?sink ?(graph_name = "custom") ~seed ~reps ~graph
           })
       sink
   in
-  measure ?on_capped ?record ~seed ~reps (fun rng ->
+  measure ?on_capped ?record ?jobs ~seed ~reps (fun ~rep rng ->
       let g, source = graph rng in
-      last_n := Graph.n g;
+      vertices.(rep) <- Graph.n g;
       Protocol.run spec rng g ~source ~max_rounds)
 
 let mean m = m.summary.Stats.mean

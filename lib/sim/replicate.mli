@@ -3,7 +3,15 @@
     The paper's statements are "in expectation" and "w.h.p."; their
     finite-sample analogue is the mean/median over independent replications.
     Each replication gets a generator split off a master seed, so a whole
-    table is reproducible from one integer. *)
+    table is reproducible from one integer.
+
+    Replications are embarrassingly parallel and the [?jobs] argument runs
+    them on a {!Rumor_par.Pool} of that many domains.  The child generators
+    are pre-split in rep order on the master ({!Rumor_prob.Rng.split_n})
+    and every observable effect — [record]/[sink] calls, capped counting,
+    the [`Fail] raise — happens in ascending rep order after the workers
+    join, so any [jobs] value produces bit-identical results and identical
+    sink streams. *)
 
 (** A replicated broadcast-time measurement. *)
 type measurement = {
@@ -18,7 +26,8 @@ type measurement = {
 
 exception Capped of { rep : int; rounds_run : int }
 (** Raised by [~on_capped:`Fail] when replication [rep] ends without full
-    broadcast after [rounds_run] rounds. *)
+    broadcast after [rounds_run] rounds.  [rep] is the lowest-numbered
+    capped replication regardless of [jobs]. *)
 
 val measure :
   ?on_capped:[ `Keep | `Fail ] ->
@@ -28,23 +37,28 @@ val measure :
     wall_seconds:float ->
     gc:Rumor_obs.Run_record.gc_counters ->
     unit) ->
+  ?jobs:int ->
   seed:int ->
   reps:int ->
-  (Rumor_prob.Rng.t -> Rumor_protocols.Run_result.t) ->
+  (rep:int -> Rumor_prob.Rng.t -> Rumor_protocols.Run_result.t) ->
   measurement
-(** [measure ~seed ~reps f] calls [f] with [reps] independent generators.
+(** [measure ~seed ~reps f] calls [f ~rep] with [reps] independent
+    generators, one per replication, on [jobs] domains (default [1] =
+    sequential in the calling domain; [0] = all cores).
 
     [on_capped] decides what a run that hit its round cap does: [`Keep]
     (default) folds its [rounds_run] into [times] and counts it in
     [capped]; [`Fail] raises {!Capped} instead.  [record] is called once
-    per replication — capped or not, before the [`Fail] check — with the
-    raw result plus wall-clock and GC-allocation cost of that run.
-    @raise Invalid_argument if [reps <= 0]. *)
+    per replication in ascending rep order — capped or not, before the
+    [`Fail] check — with the raw result plus wall-clock and GC-allocation
+    cost of that run (both measured on the domain that ran it).
+    @raise Invalid_argument if [reps <= 0] or [jobs < 0]. *)
 
 val broadcast_times :
   ?on_capped:[ `Keep | `Fail ] ->
   ?sink:Rumor_obs.Run_record.sink ->
   ?graph_name:string ->
+  ?jobs:int ->
   seed:int ->
   reps:int ->
   graph:(Rumor_prob.Rng.t -> Rumor_graph.Graph.t * int) ->
@@ -58,7 +72,10 @@ val broadcast_times :
     replications are fully independent.
 
     [sink] receives one {!Rumor_obs.Run_record.t} per replication, labelled
-    with [graph_name] (default ["custom"]) and [Protocol.name spec]. *)
+    with [graph_name] (default ["custom"]) and [Protocol.name spec], always
+    in ascending rep order: a JSONL sink written under [jobs > 1] is
+    byte-identical to the sequential one up to the per-rep [wall_seconds]
+    and [gc] timing fields. *)
 
 val mean : measurement -> float
 val median : measurement -> float

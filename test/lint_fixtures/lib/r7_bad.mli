@@ -1,0 +1,1 @@
+val counter : unit -> int Atomic.t

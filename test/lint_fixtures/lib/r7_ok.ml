@@ -1,0 +1,3 @@
+(* Same offense as r7_bad.ml, silenced on the line above. *)
+(* lint: allow R7 — fixture: exercising comment-above suppression *)
+let counter () = Atomic.make 0

@@ -12,7 +12,7 @@ let lint_exe =
 
 let fixture_root = "lint_fixtures"
 let fixture name = Filename.concat (Filename.concat fixture_root "lib") name
-let rule_ids = [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6" ]
+let rule_ids = [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7" ]
 
 let has_sub sub s =
   let n = String.length s and m = String.length sub in
@@ -154,6 +154,24 @@ let test_only_restricts_registry () =
   in
   Alcotest.(check int) "rule names work in --only" 1 code_same
 
+let test_except_drops_rules () =
+  guard_exe @@ fun () ->
+  let bad = fixture "r7_bad.ml" in
+  let code_dropped, lines_dropped =
+    run_lint [ "--root"; fixture_root; "--except"; "R7"; bad ]
+  in
+  Alcotest.(check int) "R7 offense invisible to --except R7" 0 code_dropped;
+  Alcotest.(check int) "no findings" 0 (List.length lines_dropped);
+  let code_kept, _ =
+    run_lint [ "--root"; fixture_root; "--except"; "R1"; bad ]
+  in
+  Alcotest.(check int) "--except of another rule keeps R7" 1 code_kept;
+  let code_name, _ =
+    run_lint
+      [ "--root"; fixture_root; "--except"; "concurrency-confinement"; bad ]
+  in
+  Alcotest.(check int) "rule names work in --except" 0 code_name
+
 (* --- the acceptance scenario: a seeded offense in stats.ml ------------ *)
 
 let stats_ml = Filename.concat (Filename.concat ".." "lib") "prob/stats.ml"
@@ -203,6 +221,7 @@ let suite =
       test_missing_input_exits_2;
     Alcotest.test_case "--only restricts the registry" `Quick
       test_only_restricts_registry;
+    Alcotest.test_case "--except drops rules" `Quick test_except_drops_rules;
     Alcotest.test_case "seeded Array.sort compare in stats.ml copy" `Quick
       test_scratch_stats_copy_flagged;
   ]

@@ -40,6 +40,7 @@ let () =
       ("protocols.tweaked_visit_exchange", Test_tweaked_visit_exchange.suite);
       ("sim.protocol", Test_protocol.suite);
       ("sim.graph_spec", Test_graph_spec.suite);
+      ("par.pool", Test_par.suite);
       ("sim.replicate", Test_replicate.suite);
       ("sim.table", Test_table.suite);
       ("sim.sparkline", Test_sparkline.suite);

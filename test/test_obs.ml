@@ -306,7 +306,7 @@ let test_sink_gets_one_record_per_rep () =
       | None -> Alcotest.fail "unexpected capped run")
     records
 
-let capped_push rng =
+let capped_push ~rep:_ rng =
   P.Push.run rng (Gen.path 50) ~source:0 ~max_rounds:2 ()
 
 let test_on_capped_keep_default () =

@@ -5,7 +5,7 @@ module Gen = Rumor_graph.Gen_basic
 module Replicate = Rumor_sim.Replicate
 module Protocol = Rumor_sim.Protocol
 
-let push_on_clique rng =
+let push_on_clique ~rep:_ rng =
   Rumor_protocols.Push.run rng (Gen.complete 32) ~source:0 ~max_rounds:10_000 ()
 
 let test_rep_count () =
@@ -34,7 +34,7 @@ let test_replications_vary () =
   Alcotest.(check bool) "not all identical" true (distinct > 1)
 
 let test_capped_counted () =
-  let f rng =
+  let f ~rep:_ rng =
     Rumor_protocols.Push.run rng (Gen.path 50) ~source:0 ~max_rounds:2 ()
   in
   let m = Replicate.measure ~seed:216 ~reps:4 f in

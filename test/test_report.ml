@@ -336,6 +336,7 @@ let test_bench_record_roundtrip_and_diff () =
   let base =
     {
       Bench_record.seed = 1;
+      jobs = 1;
       entries =
         [
           { Bench_record.name = "rumor/push"; time_ns = 100.0; r_square = 0.99 };
@@ -346,9 +347,17 @@ let test_bench_record_roundtrip_and_diff () =
   (match Bench_record.of_json (Bench_record.to_json base) with
   | Ok b -> Alcotest.(check bool) "bench json roundtrip" true (b = base)
   | Error msg -> Alcotest.fail msg);
+  (* snapshots written before the jobs field existed read back as jobs = 1 *)
+  (match
+     Bench_record.of_json
+       {|{"schema":"rumor-bench/1","seed":3,"entries":[]}|}
+   with
+  | Ok b -> Alcotest.(check int) "missing jobs defaults to 1" 1 b.Bench_record.jobs
+  | Error msg -> Alcotest.fail msg);
   let current =
     {
       Bench_record.seed = 2;
+      jobs = 4;
       entries =
         [
           { Bench_record.name = "rumor/push"; time_ns = 150.0; r_square = 0.98 };

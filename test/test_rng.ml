@@ -45,6 +45,36 @@ let test_split_independent () =
   done;
   Alcotest.(check int) "children do not mirror each other" 0 !matches
 
+let test_split_n_matches_split_loop () =
+  (* split_n is defined as n sequential splits: two parents at the same
+     state must agree child by child *)
+  let a = Rng.of_int 6 and b = Rng.of_int 6 in
+  let children = Rng.split_n a 5 in
+  Alcotest.(check int) "five children" 5 (Array.length children);
+  Array.iter
+    (fun child ->
+      let expected = Rng.split b in
+      for _ = 1 to 16 do
+        Alcotest.(check int64) "same stream as a manual split loop"
+          (Rng.bits64 expected) (Rng.bits64 child)
+      done)
+    children;
+  (* the parents advanced identically too *)
+  Alcotest.(check int64) "parents in lockstep after split_n" (Rng.bits64 b)
+    (Rng.bits64 a)
+
+let test_split_n_edge_cases () =
+  let g = Rng.of_int 7 in
+  Alcotest.(check int) "zero children" 0 (Array.length (Rng.split_n g 0));
+  (try
+     ignore (Rng.split_n g (-1));
+     Alcotest.fail "negative count accepted"
+   with Invalid_argument _ -> ());
+  let children = Rng.split_n g 3 in
+  let first = Array.map (fun c -> Rng.bits64 c) children in
+  Alcotest.(check bool) "children differ from each other" true
+    (first.(0) <> first.(1) && first.(1) <> first.(2))
+
 let test_int_bounds () =
   let g = Rng.of_int 1 in
   for bound = 1 to 40 do
@@ -199,6 +229,9 @@ let suite =
     Alcotest.test_case "zero seed works" `Quick test_zero_seed_works;
     Alcotest.test_case "copy semantics" `Quick test_copy_diverges_from_original;
     Alcotest.test_case "split independence" `Quick test_split_independent;
+    Alcotest.test_case "split_n = n splits in order" `Quick
+      test_split_n_matches_split_loop;
+    Alcotest.test_case "split_n edge cases" `Quick test_split_n_edge_cases;
     Alcotest.test_case "int stays in bounds" `Quick test_int_bounds;
     Alcotest.test_case "int rejects bad bounds" `Quick test_int_invalid;
     Alcotest.test_case "int uniformity (chi2)" `Quick test_int_uniformity;

@@ -333,7 +333,66 @@ let rec r6 =
   }
 
 (* ------------------------------------------------------------------ *)
+(* R7 concurrency-confinement                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* lib/par is the one place allowed to use the multicore primitives; its
+   dune lint rule passes bare filenames, so it opts out with --except R7
+   rather than relying on this path check. *)
+let under_par (ctx : Rule.ctx) =
+  let rec has = function
+    | "lib" :: "par" :: _ -> true
+    | _ :: rest -> has rest
+    | [] -> false
+  in
+  has (String.split_on_char '/' ctx.path)
+
+let concurrency_root = function
+  | "Domain" | "Atomic" | "Mutex" | "Condition" | "Semaphore" -> true
+  | _ -> false
+
+let mentions_concurrency li =
+  match components (strip_stdlib li) with
+  | root :: _ -> concurrency_root root
+  | [] -> false
+
+let rec r7 =
+  {
+    Rule.id = "R7";
+    name = "concurrency-confinement";
+    doc =
+      "Domain/Atomic/Mutex/Condition/Semaphore only under lib/par/ — \
+       parallelism goes through Rumor_par.Pool";
+    applies = (fun ctx -> Rule.everywhere ctx && not (under_par ctx));
+    check =
+      (fun ctx str ->
+        let msg =
+          "shared-memory concurrency outside lib/par/: use Rumor_par.Pool so \
+           scheduling, teardown and determinism stay in one audited module"
+        in
+        collect
+          (fun acc ->
+            let open Ast_iterator in
+            let expr self e =
+              (match e.pexp_desc with
+              | Pexp_ident { txt; loc } when mentions_concurrency txt ->
+                  acc := finding ~rule:r7 ctx loc msg :: !acc
+              | _ -> ());
+              default_iterator.expr self e
+            in
+            let module_expr self m =
+              (match m.pmod_desc with
+              | Pmod_ident { txt; loc } when mentions_concurrency txt ->
+                  acc := finding ~rule:r7 ctx loc msg :: !acc
+              | _ -> ());
+              default_iterator.module_expr self m
+            in
+            { default_iterator with expr; module_expr })
+          str);
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Registry                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let all : Rule.t list = [ r1; r2; r3; r4; r5; r6 ]
+let all : Rule.t list = [ r1; r2; r3; r4; r5; r6; r7 ]

@@ -23,6 +23,7 @@ let usage = "rumor_lint [options] <file-or-dir>...\noptions:"
 let root = ref "."
 let forced_scope = ref None
 let only = ref None
+let except = ref []
 let excludes = ref []
 let list_rules = ref false
 let paths = ref []
@@ -32,23 +33,31 @@ let set_scope s =
   | Some sc -> forced_scope := Some sc
   | None -> raise (Arg.Bad (Printf.sprintf "unknown scope %S" s))
 
+let rule_tokens s =
+  String.split_on_char ',' s
+  |> List.concat_map (String.split_on_char ' ')
+  |> List.filter (fun t -> t <> "")
+  |> List.map String.lowercase_ascii
+
+let matches_token (r : Rule.t) tokens =
+  List.mem (String.lowercase_ascii r.id) tokens
+  || List.mem (String.lowercase_ascii r.name) tokens
+
 let set_only s =
-  let wanted =
-    String.split_on_char ',' s
-    |> List.concat_map (String.split_on_char ' ')
-    |> List.filter (fun t -> t <> "")
-    |> List.map String.lowercase_ascii
-  in
-  let selected =
-    List.filter
-      (fun (r : Rule.t) ->
-        List.mem (String.lowercase_ascii r.id) wanted
-        || List.mem (String.lowercase_ascii r.name) wanted)
-      Rules.all
-  in
+  let wanted = rule_tokens s in
+  let selected = List.filter (fun r -> matches_token r wanted) Rules.all in
   match selected with
   | [] -> raise (Arg.Bad (Printf.sprintf "--only %s selects no rules" s))
   | _ :: _ -> only := Some selected
+
+let set_except s =
+  let wanted = rule_tokens s in
+  List.iter
+    (fun w ->
+      if not (List.exists (fun r -> matches_token r [ w ]) Rules.all) then
+        raise (Arg.Bad (Printf.sprintf "--except %s names no rule" w)))
+    wanted;
+  except := wanted @ !except
 
 let spec =
   [
@@ -62,6 +71,9 @@ let spec =
     ( "--only",
       Arg.String set_only,
       "IDS run only these rules (comma-separated ids or names)" );
+    ( "--except",
+      Arg.String set_except,
+      "IDS skip these rules (comma-separated ids or names; repeatable)" );
     ( "--exclude",
       Arg.String (fun s -> excludes := s :: !excludes),
       "SUB skip paths containing SUB (repeatable)" );
@@ -221,7 +233,10 @@ let () =
         "rumor_lint: no inputs (try: rumor_lint lib bin bench test)";
       exit 2
   | _ :: _ -> ());
-  let rules = match !only with Some rs -> rs | None -> Rules.all in
+  let rules =
+    (match !only with Some rs -> rs | None -> Rules.all)
+    |> List.filter (fun r -> not (matches_token r !except))
+  in
   let files =
     match collect_files (List.rev !paths) with
     | files -> files
