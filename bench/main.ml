@@ -204,17 +204,127 @@ let run_micro () =
   entries
 
 (* ------------------------------------------------------------------ *)
+(* Part 4: engine hot-path throughput (flat-frontier kernels)          *)
+(* ------------------------------------------------------------------ *)
+
+(* G(n, p) at 1.25 ln n / n: connected w.h.p. with average degree
+   2.5 ln n, the sparse regime the engine targets.  Isolated vertices or a
+   disconnected sample would turn the bench into a round-cap grind (and
+   push-pull draws a neighbor for every vertex), so resample on the rare
+   failure. *)
+let engine_graph ~seed n =
+  let p =
+    if n <= 2 then 1.0
+    else Float.min 1.0 (1.25 *. log (float_of_int n) /. float_of_int n)
+  in
+  let rec pick seed tries =
+    if tries > 20 then failwith "engine bench: no connected G(n,p) in 20 tries";
+    let g = Rumor_graph.Gen_random.erdos_renyi (Rng.of_int seed) ~n ~p in
+    if Rumor_graph.Graph.min_degree g >= 1 && Rumor_graph.Algo.is_connected g
+    then g
+    else pick (seed + 1) (tries + 1)
+  in
+  pick seed 0
+
+let entry name time_ns = { Rumor_obs.Bench_record.name; time_ns; r_square = nan }
+
+(* One timed engine run -> total, per-round and per-contact entries, so
+   `rumor_report compare` tracks rounds/sec and edge-traversals/sec across
+   snapshots. *)
+let engine_run ~n name run =
+  let t0 = Unix.gettimeofday () in
+  let (r : P.Run_result.t) = run () in
+  let dt_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+  let rounds = float_of_int (max r.P.Run_result.rounds_run 1) in
+  let contacts = float_of_int (max r.P.Run_result.contacts 1) in
+  Printf.printf "%-28s %12s  %12s/round  %6.1f ns/contact  (%d rounds%s)\n" name
+    (human_ns dt_ns)
+    (human_ns (dt_ns /. rounds))
+    (dt_ns /. contacts) r.P.Run_result.rounds_run
+    (match r.P.Run_result.broadcast_time with
+    | Some t -> Printf.sprintf ", T = %d" t
+    | None -> ", capped");
+  [
+    entry (Printf.sprintf "engine/%s/er-%d" name n) dt_ns;
+    entry (Printf.sprintf "engine/%s/er-%d/ns-per-round" name n) (dt_ns /. rounds);
+    entry
+      (Printf.sprintf "engine/%s/er-%d/ns-per-contact" name n)
+      (dt_ns /. contacts);
+  ]
+
+let run_engine_bench ~scale ~push_scale ~shards =
+  print_endline "=====================================================================";
+  Printf.printf " Part 4: engine hot path (flat-frontier kernels, shards %d)\n" shards;
+  print_endline "=====================================================================";
+  let module Engine = P.Engine in
+  let agents = Rumor_agents.Placement.Linear 1.0 in
+  let max_rounds = 100_000 in
+  let all_kernels n =
+    let t0 = Unix.gettimeofday () in
+    let g = engine_graph ~seed:2024 n in
+    let build_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+    Printf.printf "er:%d — %d edges, built in %s\n" n
+      (Rumor_graph.Graph.num_edges g)
+      (human_ns build_ns);
+    (* sequential lets: a list literal would evaluate (and print) the
+       kernels right-to-left *)
+    let push =
+      engine_run ~n "push" (fun () ->
+          Engine.push ~shards (Rng.of_int 31) g ~source:0 ~max_rounds ())
+    in
+    let push_pull =
+      engine_run ~n "push-pull" (fun () ->
+          Engine.push_pull ~shards (Rng.of_int 32) g ~source:0 ~max_rounds ())
+    in
+    let ve =
+      engine_run ~n "visit-exchange" (fun () ->
+          Engine.visit_exchange ~shards (Rng.of_int 33) g ~source:0 ~agents
+            ~max_rounds ())
+    in
+    let me =
+      engine_run ~n "meet-exchange" (fun () ->
+          Engine.meet_exchange ~shards (Rng.of_int 34) g ~source:0 ~agents
+            ~max_rounds ())
+    in
+    entry (Printf.sprintf "engine/graph-build/er-%d" n) build_ns
+    :: List.concat [ push; push_pull; ve; me ]
+  in
+  let base = all_kernels scale in
+  (* the paper-scale demonstration: push only — the walker kernels would
+     place [n] agents, which is a different (much longer) experiment *)
+  let demo =
+    if push_scale <= 0 then []
+    else begin
+      let t0 = Unix.gettimeofday () in
+      let g = engine_graph ~seed:4048 push_scale in
+      let build_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+      Printf.printf "er:%d — %d edges, built in %s\n" push_scale
+        (Rumor_graph.Graph.num_edges g)
+        (human_ns build_ns);
+      entry (Printf.sprintf "engine/graph-build/er-%d" push_scale) build_ns
+      :: engine_run ~n:push_scale "push" (fun () ->
+             Engine.push ~shards (Rng.of_int 35) g ~source:0 ~max_rounds ())
+    end
+  in
+  base @ demo
+
+(* ------------------------------------------------------------------ *)
 
 open Cmdliner
 
-let main full tables_only micro_only seed metrics bench_json jobs =
+let main full tables_only micro_only engine_only seed metrics bench_json jobs
+    engine_scale engine_push_scale shards =
   if jobs < 0 then begin
     Printf.eprintf "bench: bad --jobs %d (want >= 0; 0 = all cores)\n" jobs;
     exit 2
   end;
+  if shards < 1 then begin
+    Printf.eprintf "bench: bad --shards %d (want >= 1)\n" shards;
+    exit 2
+  end;
   let profile = if full then Experiments.Full else Experiments.Quick in
   let t0 = Unix.gettimeofday () in
-  if not micro_only then begin
+  if (not micro_only) && not engine_only then begin
     match metrics with
     | None -> run_tables ~jobs profile ~seed
     | Some path ->
@@ -222,10 +332,24 @@ let main full tables_only micro_only seed metrics bench_json jobs =
             run_tables ~metrics:sink ~jobs profile ~seed);
         Printf.printf "wrote per-replicate metrics to %s\n" path
   end;
-  if not tables_only then begin
-    let entries = run_micro () @ run_macro ~jobs in
+  if (not tables_only) || engine_only then begin
+    let entries =
+      if engine_only then []
+      else run_micro () @ run_macro ~jobs
+    in
+    let engine_entries =
+      if engine_only || engine_scale > 0 then
+        run_engine_bench
+          ~scale:(if engine_scale > 0 then engine_scale else 200_000)
+          ~push_scale:engine_push_scale ~shards
+      else []
+    in
+    let entries = entries @ engine_entries in
     let path =
-      Option.value bench_json ~default:(Printf.sprintf "BENCH_%d.json" seed)
+      Option.value bench_json
+        ~default:
+          (if engine_only then Printf.sprintf "BENCH_%d_engine.json" seed
+           else Printf.sprintf "BENCH_%d.json" seed)
     in
     Rumor_obs.Bench_record.save path { Rumor_obs.Bench_record.seed; jobs; entries };
     Printf.printf "\nwrote microbenchmark snapshot to %s\n" path
@@ -240,6 +364,40 @@ let tables_only_arg =
 
 let micro_only_arg =
   Arg.(value & flag & info [ "micro-only" ] ~doc:"Skip the paper tables.")
+
+let engine_only_arg =
+  Arg.(
+    value & flag
+    & info [ "engine-only" ]
+        ~doc:
+          "Run only the engine hot-path bench (Part 4) and write its \
+           engine/* entries to the snapshot (default \
+           BENCH_<seed>_engine.json).")
+
+let engine_scale_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "engine-scale" ] ~docv:"N"
+        ~doc:
+          "Vertex count for the engine hot-path bench on G(n, 1.25 ln n / \
+           n); 0 (default) skips Part 4 unless --engine-only is given, \
+           which then uses 200000.")
+
+let engine_push_scale_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "engine-push-scale" ] ~docv:"N"
+        ~doc:
+          "Also run a push-only engine demonstration at this vertex count \
+           (e.g. 10000000); 0 (default) skips it.")
+
+let shards_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Engine shard count for Part 4; results depend only on (seed, \
+           shards), never on --jobs.")
 
 let seed_arg =
   Arg.(
@@ -276,7 +434,8 @@ let cmd =
   Cmd.v
     (Cmd.info "bench" ~doc)
     Term.(
-      const main $ full_arg $ tables_only_arg $ micro_only_arg $ seed_arg
-      $ metrics_arg $ bench_json_arg $ jobs_arg)
+      const main $ full_arg $ tables_only_arg $ micro_only_arg $ engine_only_arg
+      $ seed_arg $ metrics_arg $ bench_json_arg $ jobs_arg $ engine_scale_arg
+      $ engine_push_scale_arg $ shards_arg)
 
 let () = exit (Cmd.eval cmd)

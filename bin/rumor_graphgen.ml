@@ -47,12 +47,25 @@ let print_analysis g =
         (Rumor_graph.Hitting.max_meeting_time ~lazy_walk g)
     with Invalid_argument _ -> ()
 
-let run graph_text seed dot edges analysis out =
+let run graph_text seed dot edges analysis timing out =
   match Graph_spec.parse graph_text with
   | Error m -> `Error (false, m)
   | Ok spec ->
       let rng = Rng.of_int seed in
+      let started = Unix.gettimeofday () in
+      let allocated_before = Gc.allocated_bytes () in
       let g, source = Graph_spec.build rng spec in
+      let build_seconds = Unix.gettimeofday () -. started in
+      let build_allocated = Gc.allocated_bytes () -. allocated_before in
+      if timing then begin
+        (* the CSR footprint is what a simulation keeps resident; the
+           allocation figure shows the streaming builders' small surplus *)
+        let words = Graph.n g + 1 + (2 * Graph.num_edges g) in
+        Printf.printf "build: %.3fs, CSR %.1f MB, %.1f MB allocated on the way\n"
+          build_seconds
+          (float_of_int (8 * words) /. 1e6)
+          (build_allocated /. 1e6)
+      end;
       if dot then output (Graph_io.to_dot g) out
       else if edges then output (Graph_io.to_edge_list g) out
       else begin
@@ -97,6 +110,14 @@ let analysis_arg =
   in
   Arg.(value & flag & info [ "analysis" ] ~doc)
 
+let timing_arg =
+  let doc =
+    "Print generation wall-clock, the CSR memory footprint, and the bytes \
+     allocated while building (the streaming builders keep the latter close \
+     to the former)."
+  in
+  Arg.(value & flag & info [ "timing" ] ~doc)
+
 let out_arg =
   let doc = "Write the output to this file instead of stdout." in
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
@@ -108,6 +129,6 @@ let cmd =
     Term.(
       ret
         (const run $ graph_arg $ seed_arg $ dot_arg $ edges_arg $ analysis_arg
-       $ out_arg))
+       $ timing_arg $ out_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -41,7 +41,7 @@ let laziness_of_string = function
   | other -> Error (Printf.sprintf "bad laziness %S (off|on|auto)" other)
 
 let run graph_text protocols source_override seed reps max_rounds alpha lazy_text
-    show_curve metrics_path jobs =
+    show_curve metrics_path jobs engine shards =
   let ( let* ) r f = match r with Ok v -> f v | Error m -> `Error (false, m) in
   let* spec =
     match Graph_spec.parse graph_text with Ok s -> Ok s | Error m -> Error m
@@ -50,6 +50,14 @@ let run graph_text protocols source_override seed reps max_rounds alpha lazy_tex
   let* () =
     if jobs >= 0 then Ok ()
     else Error (Printf.sprintf "bad --jobs %d (want >= 0; 0 = all cores)" jobs)
+  in
+  let* () =
+    if shards >= 1 then Ok ()
+    else Error (Printf.sprintf "bad --shards %d (want >= 1)" shards)
+  in
+  let* () =
+    if engine || shards = 1 then Ok ()
+    else Error "--shards requires --engine"
   in
   let* protocol_specs =
     List.fold_left
@@ -106,8 +114,8 @@ let run graph_text protocols source_override seed reps max_rounds alpha lazy_tex
           in
           let m =
             Replicate.broadcast_times ?sink
-              ~graph_name:(Graph_spec.to_string spec) ~jobs ~seed ~reps ~graph
-              ~spec:p ~max_rounds ()
+              ~graph_name:(Graph_spec.to_string spec) ~jobs ~engine ~shards ~seed
+              ~reps ~graph ~spec:p ~max_rounds ()
           in
           let s = m.Replicate.summary in
           Printf.printf "%-14s mean %.1f  median %.1f  min %.0f  max %.0f%s\n"
@@ -198,6 +206,22 @@ let jobs_arg =
   in
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let engine_arg =
+  let doc =
+    "Use the flat-frontier engine kernels (push, push-pull, visit-exchange, \
+     meet-exchange; others fall back).  Bit-identical to the default path \
+     at --shards 1; required for million-node graphs."
+  in
+  Arg.(value & flag & info [ "engine" ] ~doc)
+
+let shards_arg =
+  let doc =
+    "With --engine, draw each round's randomness from $(docv) per-round \
+     generator splits.  Results depend only on (seed, shards), never on \
+     --jobs."
+  in
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
+
 let cmd =
   let doc = "run rumor-spreading protocols on a graph" in
   let man =
@@ -215,6 +239,6 @@ let cmd =
       ret
         (const run $ graph_arg $ protocol_arg $ source_arg $ seed_arg $ reps_arg
        $ max_rounds_arg $ alpha_arg $ lazy_arg $ curve_arg $ metrics_arg
-       $ jobs_arg))
+       $ jobs_arg $ engine_arg $ shards_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -15,7 +15,13 @@ let create () = { data = [||]; len = 0; next_seq = 0 }
 let is_empty q = q.len = 0
 let size q = q.len
 
-let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+(* Float.compare, not the polymorphic operators: the heap order is the DES
+   hot loop, and generic compare both boxes the floats and trips lint rule
+   R1.  NaN times are rejected at [push], so the IEEE/total-order difference
+   never matters here. *)
+let less a b =
+  let c = Float.compare a.time b.time in
+  c < 0 || (c = 0 && a.seq < b.seq)
 
 let swap q i j =
   let tmp = q.data.(i) in

@@ -1,12 +1,12 @@
 let complete n =
   if n < 1 then invalid_arg "Gen_basic.complete: n < 1";
-  let edges = ref [] in
+  let b = Graph.Builder.create ~capacity:(n * (n - 1) / 2) ~n () in
   for u = 0 to n - 1 do
     for v = u + 1 to n - 1 do
-      edges := (u, v) :: !edges
+      Graph.Builder.add_edge b u v
     done
   done;
-  Graph.of_edges ~n !edges
+  Graph.Builder.finish b
 
 let path n =
   if n < 1 then invalid_arg "Gen_basic.path: n < 1";
@@ -32,39 +32,41 @@ let complete_binary_tree ~levels =
 let grid ~rows ~cols =
   if rows < 1 || cols < 1 then invalid_arg "Gen_basic.grid: empty dimension";
   let id r c = (r * cols) + c in
-  let edges = ref [] in
+  let n = rows * cols in
+  let b = Graph.Builder.create ~capacity:(2 * n) ~n () in
   for r = 0 to rows - 1 do
     for c = 0 to cols - 1 do
-      if c + 1 < cols then edges := (id r c, id r (c + 1)) :: !edges;
-      if r + 1 < rows then edges := (id r c, id (r + 1) c) :: !edges
+      if c + 1 < cols then Graph.Builder.add_edge b (id r c) (id r (c + 1));
+      if r + 1 < rows then Graph.Builder.add_edge b (id r c) (id (r + 1) c)
     done
   done;
-  Graph.of_edges ~n:(rows * cols) !edges
+  Graph.Builder.finish b
 
 let torus ~rows ~cols =
   if rows < 3 || cols < 3 then invalid_arg "Gen_basic.torus: need rows, cols >= 3";
   let id r c = (r * cols) + c in
-  let edges = ref [] in
+  let n = rows * cols in
+  let b = Graph.Builder.create ~capacity:(2 * n) ~n () in
   for r = 0 to rows - 1 do
     for c = 0 to cols - 1 do
-      edges := (id r c, id r ((c + 1) mod cols)) :: !edges;
-      edges := (id r c, id ((r + 1) mod rows) c) :: !edges
+      Graph.Builder.add_edge b (id r c) (id r ((c + 1) mod cols));
+      Graph.Builder.add_edge b (id r c) (id ((r + 1) mod rows) c)
     done
   done;
-  Graph.of_edges ~n:(rows * cols) !edges
+  Graph.Builder.finish b
 
 let hypercube ~dim =
   if dim < 1 then invalid_arg "Gen_basic.hypercube: dim < 1";
   if dim > 24 then invalid_arg "Gen_basic.hypercube: dim too large";
   let n = 1 lsl dim in
-  let edges = ref [] in
+  let b = Graph.Builder.create ~capacity:(n * dim / 2) ~n () in
   for u = 0 to n - 1 do
-    for b = 0 to dim - 1 do
-      let v = u lxor (1 lsl b) in
-      if u < v then edges := (u, v) :: !edges
+    for i = 0 to dim - 1 do
+      let v = u lxor (1 lsl i) in
+      if u < v then Graph.Builder.add_edge b u v
     done
   done;
-  Graph.of_edges ~n !edges
+  Graph.Builder.finish b
 
 let necklace ~cliques ~clique_size =
   if cliques < 3 then invalid_arg "Gen_basic.necklace: cliques < 3";

@@ -3,19 +3,28 @@ module Rng = Rumor_prob.Rng
 let erdos_renyi rng ~n ~p =
   if n < 1 then invalid_arg "Gen_random.erdos_renyi: n < 1";
   if not (p >= 0.0 && p <= 1.0) then invalid_arg "Gen_random.erdos_renyi: bad p";
-  let edges = ref [] in
+  let total = n * (n - 1) / 2 in
+  let b =
+    Graph.Builder.create
+      ~capacity:(if p >= 1.0 then total else 1 + int_of_float (p *. float_of_int total))
+      ~n ()
+  in
   if p >= 1.0 then
     for u = 0 to n - 1 do
       for v = u + 1 to n - 1 do
-        edges := (u, v) :: !edges
+        Graph.Builder.add_edge b u v
       done
     done
   else if p > 0.0 then begin
     (* Iterate over the n(n-1)/2 potential edges with geometric skips: the
        index of the next present edge is current + Geometric(p). *)
-    let total = n * (n - 1) / 2 in
     let log1mp = log1p (-.p) in
     let idx = ref (-1) in
+    (* The linear index is monotone, so the (row, col) decode keeps a running
+       row cursor instead of rescanning from row 0 per edge — the whole sweep
+       is O(n + m), which is what makes p ~ ln n / n at n = 10^7 feasible. *)
+    let row = ref 0 in
+    let row_start = ref 0 in
     let continue = ref true in
     while !continue do
       let u = 1.0 -. Rng.float rng 1.0 in
@@ -24,24 +33,22 @@ let erdos_renyi rng ~n ~p =
       idx := !idx + gap;
       if !idx >= total then continue := false
       else begin
-        (* decode linear index into (row, col) of the strict upper triangle *)
-        let rec find_row r rem =
-          let row_len = n - 1 - r in
-          if rem < row_len then (r, r + 1 + rem) else find_row (r + 1) (rem - row_len)
-        in
-        let u', v' = find_row 0 !idx in
-        edges := (u', v') :: !edges
+        while !idx - !row_start >= n - 1 - !row do
+          row_start := !row_start + (n - 1 - !row);
+          incr row
+        done;
+        Graph.Builder.add_edge b !row (!row + 1 + (!idx - !row_start))
       end
     done
   end;
-  Graph.of_edges ~n !edges
+  Graph.Builder.finish b
 
 let gnm rng ~n ~m =
   if n < 1 then invalid_arg "Gen_random.gnm: n < 1";
   let max_m = n * (n - 1) / 2 in
   if m < 0 || m > max_m then invalid_arg "Gen_random.gnm: m out of range";
   let seen = Hashtbl.create (2 * m) in
-  let edges = ref [] in
+  let b = Graph.Builder.create ~capacity:(max 1 m) ~n () in
   let count = ref 0 in
   while !count < m do
     let u = Rng.int rng n and v = Rng.int rng n in
@@ -49,12 +56,21 @@ let gnm rng ~n ~m =
       let key = (min u v * n) + max u v in
       if not (Hashtbl.mem seen key) then begin
         Hashtbl.add seen key ();
-        edges := (min u v, max u v) :: !edges;
+        Graph.Builder.add_edge b (min u v) (max u v);
         incr count
       end
     end
   done;
-  Graph.of_edges ~n !edges
+  Graph.Builder.finish b
+
+let complete_builder n =
+  let b = Graph.Builder.create ~capacity:(n * (n - 1) / 2) ~n () in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      Graph.Builder.add_edge b u v
+    done
+  done;
+  Graph.Builder.finish b
 
 (* Configuration-model pairing followed by defect repair: loops and parallel
    edges left by the random pairing are removed by random degree-preserving
@@ -67,15 +83,7 @@ let rec random_regular rng ~n ~d =
   if d = n - 1 then
     (* the complete graph is the unique (n-1)-regular graph on n vertices,
        and the switch repair cannot operate there *)
-    let edges = ref [] in
-    let () =
-      for u = 0 to n - 1 do
-        for v = u + 1 to n - 1 do
-          edges := (u, v) :: !edges
-        done
-      done
-    in
-    Graph.of_edges ~n !edges
+    complete_builder n
   else if 2 * d > n then
     (* dense regime: sample the (n-1-d)-regular complement instead, where
        the pairing model is simple with decent probability *)
@@ -84,13 +92,13 @@ let rec random_regular rng ~n ~d =
 
 and complement g =
   let n = Graph.n g in
-  let edges = ref [] in
+  let b = Graph.Builder.create ~n () in
   for u = 0 to n - 1 do
     for v = u + 1 to n - 1 do
-      if not (Graph.mem_edge g u v) then edges := (u, v) :: !edges
+      if not (Graph.mem_edge g u v) then Graph.Builder.add_edge b u v
     done
   done;
-  Graph.of_edges ~n !edges
+  Graph.Builder.finish b
 
 and random_regular_sparse rng ~n ~d =
   let attempt () =
@@ -112,15 +120,21 @@ and random_regular_sparse rng ~n ~d =
     done;
     let key u v = (min u v * n) + max u v in
     let seen = Hashtbl.create (2 * half) in
+    (* defective pairs are counted as they are found; the switch budget uses
+       that running count rather than an O(defects) List.length pass *)
     let bad = ref [] in
+    let nbad = ref 0 in
     for i = 0 to half - 1 do
       let u = ea.(i) and v = eb.(i) in
-      if u = v || Hashtbl.mem seen (key u v) then bad := i :: !bad
+      if u = v || Hashtbl.mem seen (key u v) then begin
+        bad := i :: !bad;
+        incr nbad
+      end
       else Hashtbl.add seen (key u v) i
     done;
     (* Repair each defective pair by switching with a random healthy edge. *)
     let switches = ref 0 in
-    let max_switches = 200 * (List.length !bad + 1) + 1000 in
+    let max_switches = (200 * (!nbad + 1)) + 1000 in
     let rec repair defective =
       match defective with
       | [] -> true
@@ -153,8 +167,11 @@ and random_regular_sparse rng ~n ~d =
           end
     in
     if repair !bad then begin
-      let edges = Array.init half (fun i -> (ea.(i), eb.(i))) in
-      Some (Graph.of_edge_array ~n edges)
+      let b = Graph.Builder.create ~capacity:half ~n () in
+      for i = 0 to half - 1 do
+        Graph.Builder.add_edge b ea.(i) eb.(i)
+      done;
+      Some (Graph.Builder.finish b)
     end
     else None
   in
@@ -170,12 +187,13 @@ let preferential_attachment rng ~n ~m =
   (* repeated-endpoints trick: sampling a uniform element of the flat edge-
      endpoint array is exactly degree-proportional sampling *)
   let seed_edges = m * (m + 1) / 2 in
-  let capacity = 2 * (seed_edges + (m * (n - m - 1))) in
+  let total_edges = seed_edges + (m * (n - m - 1)) in
+  let capacity = 2 * total_edges in
   let endpoints = Array.make capacity 0 in
   let endpoint_count = ref 0 in
-  let edges = ref [] in
+  let b = Graph.Builder.create ~capacity:total_edges ~n () in
   let add_edge u v =
-    edges := (u, v) :: !edges;
+    Graph.Builder.add_edge b u v;
     endpoints.(!endpoint_count) <- u;
     endpoints.(!endpoint_count + 1) <- v;
     endpoint_count := !endpoint_count + 2
@@ -195,7 +213,7 @@ let preferential_attachment rng ~n ~m =
     done;
     Hashtbl.iter (fun u () -> add_edge u v) targets
   done;
-  Graph.of_edges ~n !edges
+  Graph.Builder.finish b
 
 let random_regular_connected rng ~n ~d =
   let rec loop tries =

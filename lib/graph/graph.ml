@@ -83,6 +83,35 @@ let total_degree g = 2 * g.m
 
 let degrees g = Array.init g.n (fun u -> degree g u)
 
+(* Sort every CSR slice in place and reject duplicate edges.  Small slices
+   use insertion sort (no allocation — the common case for the sparse huge
+   graphs the streaming builder targets); long ones fall back to a scratch
+   merge sort. *)
+let sort_and_check_slices ~who ~n:nv offsets adj =
+  for u = 0 to nv - 1 do
+    let lo = offsets.(u) and hi = offsets.(u + 1) in
+    let len = hi - lo in
+    if len > 32 then begin
+      let slice = Array.sub adj lo len in
+      Array.sort Int.compare slice;
+      Array.blit slice 0 adj lo len
+    end
+    else
+      for i = lo + 1 to hi - 1 do
+        let x = adj.(i) in
+        let j = ref (i - 1) in
+        while !j >= lo && adj.(!j) > x do
+          adj.(!j + 1) <- adj.(!j);
+          decr j
+        done;
+        adj.(!j + 1) <- x
+      done;
+    for i = lo + 1 to hi - 1 do
+      if adj.(i) = adj.(i - 1) then
+        invalid_arg (Printf.sprintf "%s: duplicate edge (%d,%d)" who u adj.(i))
+    done
+  done
+
 let of_edge_array ~n:nv edges =
   if nv < 0 then invalid_arg "Graph.of_edge_array: negative vertex count";
   let m = Array.length edges in
@@ -110,21 +139,87 @@ let of_edge_array ~n:nv edges =
       adj.(cursor.(v)) <- u;
       cursor.(v) <- cursor.(v) + 1)
     edges;
-  (* sort each slice and reject duplicates *)
-  for u = 0 to nv - 1 do
-    let lo = offsets.(u) and hi = offsets.(u + 1) in
-    let slice = Array.sub adj lo (hi - lo) in
-    Array.sort Int.compare slice;
-    Array.blit slice 0 adj lo (hi - lo);
-    for i = lo + 1 to hi - 1 do
-      if adj.(i) = adj.(i - 1) then
-        invalid_arg
-          (Printf.sprintf "Graph.of_edge_array: duplicate edge (%d,%d)" u adj.(i))
-    done
-  done;
+  sort_and_check_slices ~who:"Graph.of_edge_array" ~n:nv offsets adj;
   { n = nv; m; offsets; adj }
 
 let of_edges ~n edges = of_edge_array ~n (Array.of_list edges)
+
+module Builder = struct
+  (* Endpoints accumulate in two flat Bigarrays (2 words per edge, off the
+     OCaml heap, no per-edge boxing) that double on demand; [finish] runs the
+     usual two-pass CSR construction directly off them.  This is the
+     streaming path the generators feed: a huge random graph is built with
+     exactly one materialization of its edges. *)
+  type buf = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+  type t = {
+    bn : int;
+    mutable us : buf;
+    mutable vs : buf;
+    mutable len : int;
+    mutable finished : bool;
+  }
+
+  let make_buf capacity = Bigarray.Array1.create Bigarray.Int Bigarray.C_layout capacity
+
+  let create ?(capacity = 1024) ~n () =
+    if n < 0 then invalid_arg "Graph.Builder.create: negative vertex count";
+    let capacity = max 1 capacity in
+    { bn = n; us = make_buf capacity; vs = make_buf capacity; len = 0; finished = false }
+
+  let vertex_count b = b.bn
+  let edge_count b = b.len
+
+  let grow b =
+    let old = Bigarray.Array1.dim b.us in
+    let us = make_buf (2 * old) and vs = make_buf (2 * old) in
+    Bigarray.Array1.blit b.us (Bigarray.Array1.sub us 0 old);
+    Bigarray.Array1.blit b.vs (Bigarray.Array1.sub vs 0 old);
+    b.us <- us;
+    b.vs <- vs
+
+  let add_edge b u v =
+    if b.finished then invalid_arg "Graph.Builder.add_edge: builder already finished";
+    if u < 0 || u >= b.bn || v < 0 || v >= b.bn then
+      invalid_arg
+        (Printf.sprintf "Graph.Builder.add_edge: endpoint out of range (%d,%d), n=%d"
+           u v b.bn);
+    if u = v then
+      invalid_arg (Printf.sprintf "Graph.Builder.add_edge: self-loop at %d" u);
+    if b.len = Bigarray.Array1.dim b.us then grow b;
+    b.us.{b.len} <- u;
+    b.vs.{b.len} <- v;
+    b.len <- b.len + 1
+
+  let finish b =
+    if b.finished then invalid_arg "Graph.Builder.finish: builder already finished";
+    b.finished <- true;
+    let nv = b.bn and m = b.len in
+    let deg = Array.make nv 0 in
+    for i = 0 to m - 1 do
+      deg.(b.us.{i}) <- deg.(b.us.{i}) + 1;
+      deg.(b.vs.{i}) <- deg.(b.vs.{i}) + 1
+    done;
+    let offsets = Array.make (nv + 1) 0 in
+    for u = 0 to nv - 1 do
+      offsets.(u + 1) <- offsets.(u) + deg.(u)
+    done;
+    let adj = Array.make (2 * m) 0 in
+    let cursor = Array.copy offsets in
+    for i = 0 to m - 1 do
+      let u = b.us.{i} and v = b.vs.{i} in
+      adj.(cursor.(u)) <- v;
+      cursor.(u) <- cursor.(u) + 1;
+      adj.(cursor.(v)) <- u;
+      cursor.(v) <- cursor.(v) + 1
+    done;
+    (* release the endpoint buffers before the slice pass; peak memory is
+       CSR + endpoints, never CSR + endpoints + a second edge list *)
+    b.us <- make_buf 1;
+    b.vs <- make_buf 1;
+    sort_and_check_slices ~who:"Graph.Builder.finish" ~n:nv offsets adj;
+    { n = nv; m; offsets; adj }
+end
 
 let validate g =
   if Array.length g.offsets <> g.n + 1 then

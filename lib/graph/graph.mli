@@ -21,6 +21,35 @@ val of_edges : n:int -> (int * int) list -> t
 val of_edge_array : n:int -> (int * int) array -> t
 (** Array variant of {!of_edges}. *)
 
+(** Streaming construction for huge graphs: endpoints accumulate in flat
+    Bigarray buffers (2 unboxed words per edge, growing by doubling) and
+    {!Builder.finish} assembles the CSR form directly from them — the edge
+    set is materialized exactly once.  This is the path the random and
+    lattice generators feed at n = 10^6..10^7. *)
+module Builder : sig
+  type graph := t
+  type t
+
+  val create : ?capacity:int -> n:int -> unit -> t
+  (** [create ~n ()] starts a builder for a graph on [n] vertices.
+      [capacity] pre-sizes the edge buffers (default 1024; they grow as
+      needed, so it is only a hint).
+      @raise Invalid_argument if [n < 0]. *)
+
+  val add_edge : t -> int -> int -> unit
+  (** Append one undirected edge.  Duplicates are detected at {!finish}.
+      @raise Invalid_argument on out-of-range endpoints, self-loops, or a
+      finished builder. *)
+
+  val edge_count : t -> int
+  val vertex_count : t -> int
+
+  val finish : t -> graph
+  (** Build the CSR graph and invalidate the builder (its edge buffers are
+      released).  @raise Invalid_argument on duplicate edges or a second
+      [finish]. *)
+end
+
 (** {1 Basic accessors} *)
 
 val n : t -> int

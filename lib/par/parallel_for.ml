@@ -1,0 +1,24 @@
+(* Intra-round data parallelism for the hot-path engine: an index range is
+   cut into a caller-chosen number of contiguous shards, each shard runs one
+   closure, and the per-shard results come back in shard order.  The shard
+   geometry is a pure function of (n, shards) — never of the pool's
+   parallelism degree — which is what lets the engine promise bit-identical
+   results for every --jobs setting: randomness is assigned per shard
+   (Rng.split_n, one child per shard) before any work is scheduled, exactly
+   like the per-rep discipline in Replicate. *)
+
+let shard_bounds ~n ~shards =
+  if n < 0 then invalid_arg "Parallel_for.shard_bounds: negative length";
+  if shards < 1 then invalid_arg "Parallel_for.shard_bounds: shards < 1";
+  (* first [n mod shards] shards get one extra element; bounds are [lo, hi) *)
+  let base = n / shards and extra = n mod shards in
+  Array.init shards (fun s ->
+      let lo = (s * base) + min s extra in
+      let len = base + if s < extra then 1 else 0 in
+      (lo, lo + len))
+
+let parallel_for pool ~n ~shards f =
+  let bounds = shard_bounds ~n ~shards in
+  Pool.init pool shards (fun s ->
+      let lo, hi = bounds.(s) in
+      f ~shard:s ~lo ~hi)

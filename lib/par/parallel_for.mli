@@ -1,0 +1,25 @@
+(** Deterministic sharded fan-out over an index range (intra-round engine
+    parallelism).
+
+    [parallel_for pool ~n ~shards f] partitions [0, n) into [shards]
+    contiguous ranges, runs [f ~shard ~lo ~hi] for each (possibly in
+    parallel on [pool]), and returns the results in shard order.
+
+    Determinism contract: the partition depends only on [(n, shards)], and
+    the result array is ordered by shard index — never by completion order —
+    so the outcome is a pure function of [f] and the shard geometry,
+    independent of the pool's parallelism degree.  Callers that need
+    per-shard randomness split one child generator per shard up front
+    ({!Rumor_prob.Rng.split_n} style) to keep the whole computation
+    bit-identical across [--jobs] settings. *)
+
+val shard_bounds : n:int -> shards:int -> (int * int) array
+(** [shard_bounds ~n ~shards] is the [[lo, hi)] range of each shard; sizes
+    differ by at most one, earlier shards get the extra elements.
+    @raise Invalid_argument if [n < 0] or [shards < 1]. *)
+
+val parallel_for :
+  Pool.t -> n:int -> shards:int -> (shard:int -> lo:int -> hi:int -> 'a) -> 'a array
+(** Run one closure per shard on the pool; result [i] is shard [i]'s.
+    A raise in any shard is re-raised after all shards join
+    (first-failure-wins, as {!Pool.init}). *)

@@ -23,8 +23,8 @@ let run ?obs rng g ~source ~branching ~max_rounds () =
   let next = Array.make n 0 in
   let contacts = ref 0 in
   let max_front = ref 1 in
-  let curve = Array.make (max_rounds + 1) 0 in
-  curve.(0) <- 1;
+  let curve = Curve_buf.create ~hint:max_rounds in
+  Curve_buf.push curve 1;
   let t = ref 0 in
   while !visited_count < n && !front_len > 0 && !t < max_rounds do
     incr t;
@@ -51,7 +51,7 @@ let run ?obs rng g ~source ~branching ~max_rounds () =
     Array.blit next 0 front 0 !next_len;
     front_len := !next_len;
     if !next_len > !max_front then max_front := !next_len;
-    curve.(round) <- !visited_count;
+    Curve_buf.push curve !visited_count;
     Obs.round_end obs ~round ~informed:!visited_count ~contacts:!contacts
   done;
   let rounds_run = !t in
@@ -59,7 +59,7 @@ let run ?obs rng g ~source ~branching ~max_rounds () =
   {
     run_result =
       Run_result.make ~broadcast_time ~rounds_run
-        ~informed_curve:(Array.sub curve 0 (rounds_run + 1))
+        ~informed_curve:(Curve_buf.contents curve)
         ~contacts:!contacts ();
     max_front = !max_front;
   }

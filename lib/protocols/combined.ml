@@ -19,8 +19,8 @@ let run ?obs ?lazy_walk rng g ~source ~agents ~max_rounds () =
       incr contacts
     end
   done;
-  let curve = Array.make (max_rounds + 1) 0 in
-  curve.(0) <- 1;
+  let curve = Curve_buf.create ~hint:max_rounds in
+  Curve_buf.push curve 1;
   let t = ref 0 in
   while !informed_vertices < n && !t < max_rounds do
     incr t;
@@ -67,11 +67,11 @@ let run ?obs ?lazy_walk rng g ~source ~agents ~max_rounds () =
         Obs.contact obs (Walkers.position w a) a
       end
     done;
-    curve.(round) <- !informed_vertices;
+    Curve_buf.push curve !informed_vertices;
     Obs.round_end obs ~round ~informed:!informed_vertices ~contacts:!contacts
   done;
   let rounds_run = !t in
   let broadcast_time = if !informed_vertices = n then Some rounds_run else None in
   Run_result.make ~broadcast_time ~rounds_run
-    ~informed_curve:(Array.sub curve 0 (rounds_run + 1))
+    ~informed_curve:(Curve_buf.contents curve)
     ~contacts:!contacts ()

@@ -35,8 +35,8 @@ let run ?(lazy_walk = false) ?obs rng g ~source ~agents ~churn ~replace ~max_rou
         incr contacts
       end);
   let births = ref 0 and deaths = ref 0 in
-  let curve = Array.make (max_rounds + 1) 0 in
-  curve.(0) <- 1;
+  let curve = Curve_buf.create ~hint:max_rounds in
+  Curve_buf.push curve 1;
   let t = ref 0 in
   let extinct = ref false in
   while (not !extinct) && !informed_vertices < n && !t < max_rounds do
@@ -90,7 +90,7 @@ let run ?(lazy_walk = false) ?obs rng g ~source ~agents ~churn ~replace ~max_rou
             Obs.contact obs (Agent_pool.position p slot) slot
           end)
     end;
-    curve.(round) <- !informed_vertices;
+    Curve_buf.push curve !informed_vertices;
     Obs.round_end obs ~round ~informed:!informed_vertices ~contacts:!contacts
   done;
   let rounds_run = !t in
@@ -98,7 +98,7 @@ let run ?(lazy_walk = false) ?obs rng g ~source ~agents ~churn ~replace ~max_rou
   {
     result =
       Run_result.make ~broadcast_time ~rounds_run
-        ~informed_curve:(Array.sub curve 0 (rounds_run + 1))
+        ~informed_curve:(Curve_buf.contents curve)
         ~contacts:!contacts ();
     final_population = Agent_pool.alive p;
     births = !births;

@@ -1,0 +1,431 @@
+module Rng = Rumor_prob.Rng
+module Graph = Rumor_graph.Graph
+module Obs = Rumor_obs.Instrument
+module Placement = Rumor_agents.Placement
+module Pool = Rumor_par.Pool
+module Par = Rumor_par.Parallel_for
+
+(* Million-node hot path for the four core round kernels.  Same protocols as
+   Push / Push_pull / Visit_exchange / Meet_exchange, re-expressed over flat
+   state: a Bitset per informed set (1 bit per vertex or agent), a dense
+   frontier/position array, and growable Curve_buf curves, so per-run memory
+   is O(n + m + rounds run) words and the inner loops touch only flat arrays.
+
+   Determinism contract (extends PR 5's replication contract to intra-round
+   parallelism):
+
+   - [shards = 1] (the default) consumes the caller's [rng] in exactly the
+     same order as the legacy kernel, so every field of the result — curves,
+     contact counts, tau arrays, observation streams — is bit-identical to
+     the corresponding [Push.run] / [Push_pull.run] / ... call on the same
+     seed.  The equivalence suite in test/test_engine.ml pins this.
+
+   - [shards = S > 1] re-keys randomness per round: the round's random
+     choices are drawn from [Rng.split_n rng S], child [s] covering the
+     [s]-th contiguous shard of the frontier (Parallel_for geometry), and
+     all state updates happen in a sequential merge pass in frontier order
+     after the shards join.  The result is a pure function of (seed, S) —
+     the pool's [--jobs] degree only schedules work and can never change a
+     bit of the output. *)
+
+let get_pool = function Some p -> p | None -> Pool.create ~jobs:1
+
+let check_common ~who ~n ~source ~max_rounds ~shards =
+  if source < 0 || source >= n then invalid_arg (who ^ ": source out of range");
+  if max_rounds < 0 then invalid_arg (who ^ ": negative round cap");
+  if shards < 1 then invalid_arg (who ^ ": shards < 1")
+
+(* ------------------------------------------------------------------ push *)
+
+let push ?traffic ?obs ?(failure_prob = 0.0) ?tau ?(shards = 1) ?pool rng g
+    ~source ~max_rounds () =
+  let n = Graph.n g in
+  check_common ~who:"Engine.push" ~n ~source ~max_rounds ~shards;
+  if not (failure_prob >= 0.0 && failure_prob < 1.0) then
+    invalid_arg "Engine.push: failure_prob outside [0, 1)";
+  (match tau with
+  | Some tau ->
+      if Array.length tau <> n then invalid_arg "Engine.push: tau length <> n";
+      Array.fill tau 0 n max_int;
+      tau.(source) <- 0
+  | None -> ());
+  let informed = Bitset.create n in
+  (* order.(0 .. count-1) lists informed vertices in informing order; the
+     first [active] of them push this round *)
+  let order = Array.make n 0 in
+  Bitset.add informed source;
+  order.(0) <- source;
+  let count = ref 1 in
+  let contacts = ref 0 in
+  let curve = Curve_buf.create ~hint:max_rounds in
+  Curve_buf.push curve 1;
+  let t = ref 0 in
+  let want_failures = not (Float.equal failure_prob 0.0) in
+  (* one contact's worth of merge, shared by both paths *)
+  let deliver ~round u v delivered =
+    incr contacts;
+    Obs.contact obs u v;
+    (match traffic with Some tr -> Traffic.record tr u v | None -> ());
+    if delivered && not (Bitset.mem informed v) then begin
+      Bitset.add informed v;
+      (match tau with Some tau -> tau.(v) <- round | None -> ());
+      order.(!count) <- v;
+      incr count
+    end
+  in
+  if shards = 1 then
+    while !count < n && !t < max_rounds do
+      incr t;
+      Obs.round_start obs !t;
+      let active = !count in
+      for i = 0 to active - 1 do
+        let u = order.(i) in
+        let v = Graph.random_neighbor g rng u in
+        let delivered = (not want_failures) || not (Rng.bernoulli rng failure_prob) in
+        deliver ~round:!t u v delivered
+      done;
+      Curve_buf.push curve !count;
+      Obs.round_end obs ~round:!t ~informed:!count ~contacts:!contacts
+    done
+  else begin
+    let pool = get_pool pool in
+    let picks = Array.make n 0 in
+    let failed = if want_failures then Bytes.make n '\000' else Bytes.empty in
+    while !count < n && !t < max_rounds do
+      incr t;
+      Obs.round_start obs !t;
+      let active = !count in
+      let rngs = Rng.split_n rng shards in
+      (* shards read only the frozen active prefix of [order] and write
+         disjoint slots of [picks]/[failed]; all shared-state updates wait
+         for the sequential merge below *)
+      let (_ : unit array) =
+        Par.parallel_for pool ~n:active ~shards (fun ~shard ~lo ~hi ->
+            let r = rngs.(shard) in
+            for i = lo to hi - 1 do
+              picks.(i) <- Graph.random_neighbor g r order.(i);
+              if want_failures then
+                Bytes.set failed i (if Rng.bernoulli r failure_prob then '\001' else '\000')
+            done)
+      in
+      for i = 0 to active - 1 do
+        let delivered = (not want_failures) || Char.code (Bytes.get failed i) = 0 in
+        deliver ~round:!t order.(i) picks.(i) delivered
+      done;
+      Curve_buf.push curve !count;
+      Obs.round_end obs ~round:!t ~informed:!count ~contacts:!contacts
+    done
+  end;
+  let rounds_run = !t in
+  let broadcast_time = if !count = n then Some rounds_run else None in
+  Run_result.make ~broadcast_time ~rounds_run
+    ~informed_curve:(Curve_buf.contents curve)
+    ~contacts:!contacts ()
+
+(* ------------------------------------------------------------- push-pull *)
+
+let push_pull ?traffic ?obs ?(shards = 1) ?pool rng g ~source ~max_rounds () =
+  let n = Graph.n g in
+  check_common ~who:"Engine.push_pull" ~n ~source ~max_rounds ~shards;
+  (* [before] is the informed set at the top of the round (the snapshot the
+     push/pull eligibility test reads); [informed] is live *)
+  let informed = Bitset.create n in
+  let before = Bitset.create n in
+  Bitset.add informed source;
+  let count = ref 1 in
+  let contacts = ref 0 in
+  let curve = Curve_buf.create ~hint:max_rounds in
+  Curve_buf.push curve 1;
+  let t = ref 0 in
+  let exchange u v =
+    incr contacts;
+    Obs.contact obs u v;
+    (match traffic with Some tr -> Traffic.record tr u v | None -> ());
+    let u_before = Bitset.mem before u and v_before = Bitset.mem before v in
+    if u_before && not (Bitset.mem informed v) then begin
+      Bitset.add informed v;
+      incr count
+    end
+    else if v_before && not (Bitset.mem informed u) then begin
+      Bitset.add informed u;
+      incr count
+    end
+  in
+  if shards = 1 then
+    while !count < n && !t < max_rounds do
+      incr t;
+      let round = !t in
+      Obs.round_start obs round;
+      Bitset.snapshot ~src:informed ~dst:before;
+      for u = 0 to n - 1 do
+        exchange u (Graph.random_neighbor g rng u)
+      done;
+      Curve_buf.push curve !count;
+      Obs.round_end obs ~round ~informed:!count ~contacts:!contacts
+    done
+  else begin
+    let pool = get_pool pool in
+    let picks = Array.make n 0 in
+    while !count < n && !t < max_rounds do
+      incr t;
+      let round = !t in
+      Obs.round_start obs round;
+      let rngs = Rng.split_n rng shards in
+      let (_ : unit array) =
+        Par.parallel_for pool ~n ~shards (fun ~shard ~lo ~hi ->
+            let r = rngs.(shard) in
+            for u = lo to hi - 1 do
+              picks.(u) <- Graph.random_neighbor g r u
+            done)
+      in
+      Bitset.snapshot ~src:informed ~dst:before;
+      for u = 0 to n - 1 do
+        exchange u picks.(u)
+      done;
+      Curve_buf.push curve !count;
+      Obs.round_end obs ~round ~informed:!count ~contacts:!contacts
+    done
+  end;
+  let rounds_run = !t in
+  let broadcast_time = if !count = n then Some rounds_run else None in
+  Run_result.make ~broadcast_time ~rounds_run
+    ~informed_curve:(Curve_buf.contents curve)
+    ~contacts:!contacts ()
+
+(* --------------------------------------------------------- walker motion *)
+
+let place_agents ~who rng g agents =
+  let pos = Placement.place rng agents g in
+  if Array.length pos = 0 then invalid_arg (who ^ ": no agents");
+  Array.iter
+    (fun v ->
+      if Graph.degree g v = 0 then invalid_arg (who ^ ": agent on isolated vertex"))
+    pos;
+  pos
+
+(* One synchronized walker round over a flat position array, consuming [rng]
+   in exactly Walkers.step's order: per agent, the lazy coin (if lazy) then
+   the neighbor draw. *)
+let move_agents_seq ?traffic ?obs ~lazy_walk rng g pos =
+  for a = 0 to Array.length pos - 1 do
+    let u = pos.(a) in
+    let v =
+      if lazy_walk && Rng.bool rng then u else Graph.random_neighbor g rng u
+    in
+    pos.(a) <- v;
+    (match traffic with
+    | Some tr when v <> u -> Traffic.record tr u v
+    | _ -> ());
+    Obs.walker_move obs ~agent:a ~from_:u ~to_:v
+  done
+
+(* Sharded variant: destinations are drawn into [moves] with one split child
+   per shard, then applied (and reported) sequentially in agent order. *)
+let move_agents_sharded ?traffic ?obs ~lazy_walk ~shards pool rng g pos moves =
+  let k = Array.length pos in
+  let rngs = Rng.split_n rng shards in
+  let (_ : unit array) =
+    Par.parallel_for pool ~n:k ~shards (fun ~shard ~lo ~hi ->
+        let r = rngs.(shard) in
+        for a = lo to hi - 1 do
+          let u = pos.(a) in
+          moves.(a) <-
+            (if lazy_walk && Rng.bool r then u else Graph.random_neighbor g r u)
+        done)
+  in
+  for a = 0 to k - 1 do
+    let u = pos.(a) and v = moves.(a) in
+    pos.(a) <- v;
+    (match traffic with
+    | Some tr when v <> u -> Traffic.record tr u v
+    | _ -> ());
+    Obs.walker_move obs ~agent:a ~from_:u ~to_:v
+  done
+
+(* -------------------------------------------------------- visit-exchange *)
+
+let visit_exchange ?traffic ?obs ?(lazy_walk = false) ?(shards = 1) ?pool rng g
+    ~source ~agents ~max_rounds () =
+  let n = Graph.n g in
+  check_common ~who:"Engine.visit_exchange" ~n ~source ~max_rounds ~shards;
+  let pos = place_agents ~who:"Engine.visit_exchange" rng g agents in
+  let k = Array.length pos in
+  let vertex_informed = Bitset.create n in
+  let agent_informed = Bitset.create k in
+  let agent_before = Bitset.create k in
+  let contacts = ref 0 in
+  (* round 0: the source is informed, and so is every agent standing on it *)
+  Bitset.add vertex_informed source;
+  let informed_vertices = ref 1 in
+  let informed_agents = ref 0 in
+  for a = 0 to k - 1 do
+    if pos.(a) = source then begin
+      Bitset.add agent_informed a;
+      incr informed_agents;
+      incr contacts
+    end
+  done;
+  let curve = Curve_buf.create ~hint:max_rounds in
+  Curve_buf.push curve 1;
+  let all_agents_round = ref (if !informed_agents = k then Some 0 else None) in
+  (* the round the most recent vertex was informed; its final value is the
+     completion round when all vertices end up informed *)
+  let last_vertex_round = ref 0 in
+  let moves = if shards = 1 then [||] else Array.make k 0 in
+  let pool = if shards = 1 then None else Some (get_pool pool) in
+  let t = ref 0 in
+  while (!informed_vertices < n || !all_agents_round = None) && !t < max_rounds do
+    incr t;
+    let round = !t in
+    Obs.round_start obs round;
+    (* phase 1: all agents step in parallel *)
+    (match pool with
+    | None -> move_agents_seq ?traffic ?obs ~lazy_walk rng g pos
+    | Some pool ->
+        move_agents_sharded ?traffic ?obs ~lazy_walk ~shards pool rng g pos moves);
+    (* phase 2: agents informed in a previous round inform their vertex *)
+    Bitset.snapshot ~src:agent_informed ~dst:agent_before;
+    for a = 0 to k - 1 do
+      if Bitset.mem agent_before a then begin
+        let v = pos.(a) in
+        if not (Bitset.mem vertex_informed v) then begin
+          Bitset.add vertex_informed v;
+          incr informed_vertices;
+          incr contacts;
+          last_vertex_round := round;
+          Obs.contact obs a v
+        end
+      end
+    done;
+    (* phase 3: uninformed agents standing on an informed vertex (informed
+       in any round <= this one) become informed *)
+    for a = 0 to k - 1 do
+      if (not (Bitset.mem agent_informed a)) && Bitset.mem vertex_informed pos.(a)
+      then begin
+        Bitset.add agent_informed a;
+        incr informed_agents;
+        incr contacts;
+        Obs.contact obs pos.(a) a
+      end
+    done;
+    if !informed_agents = k && !all_agents_round = None then
+      all_agents_round := Some round;
+    Curve_buf.push curve !informed_vertices;
+    Obs.round_end obs ~round ~informed:!informed_vertices ~contacts:!contacts
+  done;
+  let rounds_run = !t in
+  let broadcast_time =
+    if !informed_vertices = n then Some !last_vertex_round else None
+  in
+  Run_result.make ~all_agents_informed:!all_agents_round ~broadcast_time
+    ~rounds_run
+    ~informed_curve:(Curve_buf.contents curve)
+    ~contacts:!contacts ()
+
+(* --------------------------------------------------------- meet-exchange *)
+
+let meet_exchange ?traffic ?obs ?lazy_walk ?(shards = 1) ?pool rng g ~source
+    ~agents ~max_rounds () =
+  let n = Graph.n g in
+  check_common ~who:"Engine.meet_exchange" ~n ~source ~max_rounds ~shards;
+  (* same unsafe-default fix as Meet_exchange: an omitted [lazy_walk]
+     resolves by testing bipartiteness *)
+  let lazy_walk =
+    match lazy_walk with
+    | Some b -> b
+    | None -> Rumor_graph.Algo.is_bipartite g
+  in
+  let pos = place_agents ~who:"Engine.meet_exchange" rng g agents in
+  let k = Array.length pos in
+  let agent_informed = Bitset.create k in
+  let agent_before = Bitset.create k in
+  (* counting-sort buckets, same layout and (stable) agent order as
+     Walkers.Buckets, with the cursor array reused across rounds *)
+  let starts = Array.make (n + 1) 0 in
+  let cursor = Array.make (n + 1) 0 in
+  let ids = Array.make k 0 in
+  let refresh_buckets () =
+    Array.fill starts 0 (n + 1) 0;
+    Array.iter (fun v -> starts.(v + 1) <- starts.(v + 1) + 1) pos;
+    for v = 0 to n - 1 do
+      starts.(v + 1) <- starts.(v + 1) + starts.(v)
+    done;
+    Array.blit starts 0 cursor 0 (n + 1);
+    Array.iteri
+      (fun a v ->
+        ids.(cursor.(v)) <- a;
+        cursor.(v) <- cursor.(v) + 1)
+      pos
+  in
+  let contacts = ref 0 in
+  let informed = ref 0 in
+  (* round 0: agents standing on the source are informed *)
+  for a = 0 to k - 1 do
+    if pos.(a) = source then begin
+      Bitset.add agent_informed a;
+      incr informed;
+      incr contacts;
+      Obs.contact obs source a
+    end
+  done;
+  let source_active = ref (!informed = 0) in
+  let curve = Curve_buf.create ~hint:max_rounds in
+  Curve_buf.push curve !informed;
+  let moves = if shards = 1 then [||] else Array.make k 0 in
+  let pool = if shards = 1 then None else Some (get_pool pool) in
+  let t = ref 0 in
+  while !informed < k && !t < max_rounds do
+    incr t;
+    let round = !t in
+    Obs.round_start obs round;
+    (match pool with
+    | None -> move_agents_seq ?traffic ?obs ~lazy_walk rng g pos
+    | Some pool ->
+        move_agents_sharded ?traffic ?obs ~lazy_walk ~shards pool rng g pos moves);
+    refresh_buckets ();
+    (* the witness test below is "informed in a previous round": snapshot
+       before this round's source hand-off so its pickups don't qualify *)
+    Bitset.snapshot ~src:agent_informed ~dst:agent_before;
+    (* source hand-off: the first agents to visit the source become informed
+       (all of them if simultaneous); they start spreading only next round *)
+    if !source_active && starts.(source + 1) - starts.(source) > 0 then begin
+      for i = starts.(source) to starts.(source + 1) - 1 do
+        let a = ids.(i) in
+        if not (Bitset.mem agent_informed a) then begin
+          Bitset.add agent_informed a;
+          incr informed;
+          incr contacts;
+          Obs.contact obs source a
+        end
+      done;
+      source_active := false
+    end;
+    (* meetings: a vertex holding some previously informed agent informs
+       every agent standing on it *)
+    for v = 0 to n - 1 do
+      if starts.(v + 1) - starts.(v) >= 2 then begin
+        let witness = ref false in
+        for i = starts.(v) to starts.(v + 1) - 1 do
+          if Bitset.mem agent_before ids.(i) then witness := true
+        done;
+        if !witness then
+          for i = starts.(v) to starts.(v + 1) - 1 do
+            let a = ids.(i) in
+            if not (Bitset.mem agent_informed a) then begin
+              Bitset.add agent_informed a;
+              incr informed;
+              incr contacts;
+              Obs.contact obs v a
+            end
+          done
+      end
+    done;
+    Curve_buf.push curve !informed;
+    Obs.round_end obs ~round ~informed:!informed ~contacts:!contacts
+  done;
+  let rounds_run = !t in
+  let broadcast_time = if !informed = k then Some rounds_run else None in
+  Run_result.make ~all_agents_informed:broadcast_time ~broadcast_time
+    ~rounds_run
+    ~informed_curve:(Curve_buf.contents curve)
+    ~contacts:!contacts ()

@@ -1,0 +1,89 @@
+(** Million-node hot-path engine for the four core round kernels.
+
+    Same protocols as {!Push}, {!Push_pull}, {!Visit_exchange} and
+    {!Meet_exchange}, re-expressed over flat state: informed sets live in
+    {!Bitset}s (1 bit per vertex/agent), the push frontier and walker
+    positions are dense [int array]s over the CSR graph, and curves grow in
+    {!Curve_buf}s — per-run memory is O(n + m + rounds run) words and a run
+    at n = 10^7 is a few GB dominated by the graph itself.
+
+    {2 Determinism}
+
+    - [?shards:1] (the default) consumes the caller's [rng] in exactly the
+      legacy kernel's order, so the whole {!Run_result} — curves, contact
+      counts, optional [tau] array, and the [?obs]/[?traffic] streams — is
+      bit-identical to the corresponding legacy run on the same seed.
+    - [?shards:S] with [S > 1] draws each round's random choices from
+      [Rng.split_n rng S], one child per contiguous shard
+      ({!Rumor_par.Parallel_for} geometry), and applies all state updates in
+      a sequential merge in frontier/agent order after the shards join.  The
+      result is a pure function of (seed, S): the [?pool]'s parallelism
+      degree schedules work but can never change a bit of the output.
+
+    All kernels raise [Invalid_argument] on an out-of-range [source], a
+    negative [max_rounds], or [shards < 1].  [?pool] defaults to a
+    sequential one-job pool and is only consulted when [shards > 1]. *)
+
+val push :
+  ?traffic:Traffic.t ->
+  ?obs:Rumor_obs.Instrument.t ->
+  ?failure_prob:float ->
+  ?tau:int array ->
+  ?shards:int ->
+  ?pool:Rumor_par.Pool.t ->
+  Rumor_prob.Rng.t ->
+  Rumor_graph.Graph.t ->
+  source:int ->
+  max_rounds:int ->
+  unit ->
+  Run_result.t
+(** Synchronous push.  [?tau], when given, must have length [n] and is
+    filled with each vertex's informing round ([max_int] if never informed)
+    — the engine counterpart of [Push.informed_times].
+    @raise Invalid_argument also if [failure_prob] is outside [0, 1) or
+    [tau] has the wrong length. *)
+
+val push_pull :
+  ?traffic:Traffic.t ->
+  ?obs:Rumor_obs.Instrument.t ->
+  ?shards:int ->
+  ?pool:Rumor_par.Pool.t ->
+  Rumor_prob.Rng.t ->
+  Rumor_graph.Graph.t ->
+  source:int ->
+  max_rounds:int ->
+  unit ->
+  Run_result.t
+(** Synchronous push–pull. *)
+
+val visit_exchange :
+  ?traffic:Traffic.t ->
+  ?obs:Rumor_obs.Instrument.t ->
+  ?lazy_walk:bool ->
+  ?shards:int ->
+  ?pool:Rumor_par.Pool.t ->
+  Rumor_prob.Rng.t ->
+  Rumor_graph.Graph.t ->
+  source:int ->
+  agents:Rumor_agents.Placement.spec ->
+  max_rounds:int ->
+  unit ->
+  Run_result.t
+(** Visit-Exchange over flat walker arrays ([?lazy_walk] defaults to
+    [false], as in {!Visit_exchange}). *)
+
+val meet_exchange :
+  ?traffic:Traffic.t ->
+  ?obs:Rumor_obs.Instrument.t ->
+  ?lazy_walk:bool ->
+  ?shards:int ->
+  ?pool:Rumor_par.Pool.t ->
+  Rumor_prob.Rng.t ->
+  Rumor_graph.Graph.t ->
+  source:int ->
+  agents:Rumor_agents.Placement.spec ->
+  max_rounds:int ->
+  unit ->
+  Run_result.t
+(** Meet-Exchange; an omitted [?lazy_walk] resolves to bipartiteness of the
+    graph, exactly as {!Meet_exchange.run}. *)

@@ -31,10 +31,10 @@ let run ?(frogs_per_vertex = 1) ?obs rng g ~source ~max_rounds () =
   in
   visited.(source) <- true;
   wake_vertex source;
-  let curve = Array.make (max_rounds + 1) 0 in
-  curve.(0) <- 1;
-  let awake_hist = Array.make (max_rounds + 1) 0 in
-  awake_hist.(0) <- !awake;
+  let curve = Curve_buf.create ~hint:max_rounds in
+  Curve_buf.push curve 1;
+  let awake_hist = Curve_buf.create ~hint:max_rounds in
+  Curve_buf.push awake_hist !awake;
   let t = ref 0 in
   while !visited_count < n && !t < max_rounds do
     incr t;
@@ -54,8 +54,8 @@ let run ?(frogs_per_vertex = 1) ?obs rng g ~source ~max_rounds () =
         wake_vertex v
       end
     done;
-    curve.(!t) <- !visited_count;
-    awake_hist.(!t) <- !awake;
+    Curve_buf.push curve !visited_count;
+    Curve_buf.push awake_hist !awake;
     Obs.round_end obs ~round:!t ~informed:!visited_count ~contacts:!contacts
   done;
   let rounds_run = !t in
@@ -63,7 +63,7 @@ let run ?(frogs_per_vertex = 1) ?obs rng g ~source ~max_rounds () =
   {
     run_result =
       Run_result.make ~broadcast_time ~rounds_run
-        ~informed_curve:(Array.sub curve 0 (rounds_run + 1))
+        ~informed_curve:(Curve_buf.contents curve)
         ~contacts:!contacts ();
-    awake_curve = Array.sub awake_hist 0 (rounds_run + 1);
+    awake_curve = Curve_buf.contents awake_hist;
   }

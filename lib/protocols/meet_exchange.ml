@@ -50,8 +50,8 @@ let run_detailed ?traffic ?obs ?lazy_walk rng g ~source ~agents ~max_rounds () =
   done;
   let source_active = ref (!informed = 0) in
   let first_pickup = ref (if !informed > 0 then Some 0 else None) in
-  let curve = Array.make (max_rounds + 1) 0 in
-  curve.(0) <- !informed;
+  let curve = Curve_buf.create ~hint:max_rounds in
+  Curve_buf.push curve !informed;
   let t = ref 0 in
   while !informed < k && !t < max_rounds do
     incr t;
@@ -92,7 +92,7 @@ let run_detailed ?traffic ?obs ?lazy_walk rng g ~source ~agents ~max_rounds () =
               end)
       end
     done;
-    curve.(round) <- !informed;
+    Curve_buf.push curve !informed;
     Obs.round_end obs ~round ~informed:!informed ~contacts:!contacts
   done;
   let rounds_run = !t in
@@ -100,7 +100,7 @@ let run_detailed ?traffic ?obs ?lazy_walk rng g ~source ~agents ~max_rounds () =
   let result =
     Run_result.make ~all_agents_informed:broadcast_time ~broadcast_time
       ~rounds_run
-      ~informed_curve:(Array.sub curve 0 (rounds_run + 1))
+      ~informed_curve:(Curve_buf.contents curve)
       ~contacts:!contacts ()
   in
   { result; agent_time; first_pickup = !first_pickup }

@@ -18,8 +18,8 @@ let run ?obs rng g ~source ~max_rounds () =
   order.(0) <- source;
   let count = ref 1 in
   let contacts = ref 0 in
-  let curve = Array.make (max_rounds + 1) 0 in
-  curve.(0) <- 1;
+  let curve = Curve_buf.create ~hint:max_rounds in
+  Curve_buf.push curve 1;
   let t = ref 0 in
   while !count < n && !t < max_rounds do
     incr t;
@@ -38,11 +38,11 @@ let run ?obs rng g ~source ~max_rounds () =
         incr count
       end
     done;
-    curve.(!t) <- !count;
+    Curve_buf.push curve !count;
     Obs.round_end obs ~round:!t ~informed:!count ~contacts:!contacts
   done;
   let rounds_run = !t in
   let broadcast_time = if !count = n then Some rounds_run else None in
   Run_result.make ~broadcast_time ~rounds_run
-    ~informed_curve:(Array.sub curve 0 (rounds_run + 1))
+    ~informed_curve:(Curve_buf.contents curve)
     ~contacts:!contacts ()

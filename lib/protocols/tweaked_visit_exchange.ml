@@ -45,8 +45,8 @@ let engine ?(lazy_walk = false) ?obs rng g ~source ~agents ~max_rounds ~clamp ()
     end
   in
   apply_clamp 0;
-  let curve = Array.make (max_rounds + 1) 0 in
-  curve.(0) <- 1;
+  let curve = Curve_buf.create ~hint:max_rounds in
+  Curve_buf.push curve 1;
   let t = ref 0 in
   while !informed_vertices < n && !t < max_rounds && Agent_pool.alive p > 0 do
     incr t;
@@ -83,7 +83,7 @@ let engine ?(lazy_walk = false) ?obs rng g ~source ~agents ~max_rounds ~clamp ()
           Obs.contact obs (Agent_pool.position p slot) slot
         end);
     apply_clamp round;
-    curve.(round) <- !informed_vertices;
+    Curve_buf.push curve !informed_vertices;
     Obs.round_end obs ~round ~informed:!informed_vertices ~contacts:!contacts
   done;
   let rounds_run = !t in
@@ -91,7 +91,7 @@ let engine ?(lazy_walk = false) ?obs rng g ~source ~agents ~max_rounds ~clamp ()
   {
     result =
       Run_result.make ~broadcast_time ~rounds_run
-        ~informed_curve:(Array.sub curve 0 (rounds_run + 1))
+        ~informed_curve:(Curve_buf.contents curve)
         ~contacts:!contacts ();
     interventions = !interventions;
     first_intervention = !first_intervention;

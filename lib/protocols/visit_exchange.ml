@@ -41,8 +41,8 @@ let run_detailed ?traffic ?obs ?lazy_walk rng g ~source ~agents ~max_rounds () =
       incr contacts
     end
   done;
-  let curve = Array.make (max_rounds + 1) 0 in
-  curve.(0) <- 1;
+  let curve = Curve_buf.create ~hint:max_rounds in
+  Curve_buf.push curve 1;
   let all_agents_round = ref (if !informed_agents = k then Some 0 else None) in
   let t = ref 0 in
   while (!informed_vertices < n || !all_agents_round = None) && !t < max_rounds do
@@ -78,7 +78,7 @@ let run_detailed ?traffic ?obs ?lazy_walk rng g ~source ~agents ~max_rounds () =
     done;
     if !informed_agents = k && !all_agents_round = None then
       all_agents_round := Some round;
-    curve.(round) <- !informed_vertices;
+    Curve_buf.push curve !informed_vertices;
     Obs.round_end obs ~round ~informed:!informed_vertices ~contacts:!contacts
   done;
   let rounds_run = !t in
@@ -94,7 +94,7 @@ let run_detailed ?traffic ?obs ?lazy_walk rng g ~source ~agents ~max_rounds () =
   let result =
     Run_result.make ~all_agents_informed:!all_agents_round ~broadcast_time
       ~rounds_run
-      ~informed_curve:(Array.sub curve 0 (rounds_run + 1))
+      ~informed_curve:(Curve_buf.contents curve)
       ~contacts:!contacts ()
   in
   { result; vertex_time; agent_time }

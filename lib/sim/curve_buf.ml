@@ -1,0 +1,6 @@
+(* The buffer itself lives in Rumor_protocols (the protocol kernels are its
+   writers and rumor_protocols cannot depend on rumor_sim); this alias keeps
+   the simulation layer's public surface complete: curve production
+   (Curve_buf) next to curve analysis (Curve_stats). *)
+
+include Rumor_protocols.Curve_buf

@@ -1,0 +1,5 @@
+(** Growable informed-curve buffer — alias of {!Rumor_protocols.Curve_buf},
+    re-exported so simulation-layer users find curve production next to
+    curve analysis ({!Curve_stats}). *)
+
+include module type of Rumor_protocols.Curve_buf

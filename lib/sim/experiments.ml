@@ -48,9 +48,18 @@ let with_jobs jobs f =
   current_jobs := jobs;
   Fun.protect ~finally:(fun () -> current_jobs := saved) f
 
+(* And for the engine flag: measured cells are bit-identical either way
+   (shards stay at 1), so this too is a pure performance choice. *)
+let current_engine = ref false
+
+let with_engine engine f =
+  let saved = !current_engine in
+  current_engine := engine;
+  Fun.protect ~finally:(fun () -> current_engine := saved) f
+
 let measure_cell ~seed ~reps ~graph ~spec ~max_rounds =
-  Replicate.broadcast_times ?sink:!metrics_sink ~jobs:!current_jobs ~seed ~reps
-    ~graph ~spec ~max_rounds ()
+  Replicate.broadcast_times ?sink:!metrics_sink ~jobs:!current_jobs
+    ~engine:!current_engine ~seed ~reps ~graph ~spec ~max_rounds ()
 
 let time_cell (m : Replicate.measurement) =
   let s = m.summary in
@@ -1692,7 +1701,7 @@ let find id =
   let id = String.uppercase_ascii id in
   List.find_opt (fun e -> String.uppercase_ascii e.id = id) all
 
-let run_all ?ids ?metrics ?(jobs = 1) profile ~seed =
+let run_all ?ids ?metrics ?(jobs = 1) ?(engine = false) profile ~seed =
   let selected =
     match ids with
     | None -> all
@@ -1714,4 +1723,5 @@ let run_all ?ids ?metrics ?(jobs = 1) profile ~seed =
           (fun r -> sink { r with Rumor_obs.Run_record.graph = e.id })
           (fun () -> e.run profile ~seed)
   in
-  with_jobs jobs (fun () -> List.map (fun e -> (e, run_one e)) selected)
+  with_engine engine (fun () ->
+      with_jobs jobs (fun () -> List.map (fun e -> (e, run_one e)) selected))

@@ -37,6 +37,7 @@ val run_all :
   ?ids:string list ->
   ?metrics:Rumor_obs.Run_record.sink ->
   ?jobs:int ->
+  ?engine:bool ->
   profile ->
   seed:int ->
   (t * Table.t list) list
@@ -50,7 +51,11 @@ val run_all :
     that many domains via {!Replicate.broadcast_times} — tables and metrics
     are bit-identical for every setting.  Only the replicated cell
     measurements parallelize; the invariant-checking experiments (E9, A5–A8,
-    R7, R8) drive their own sequential loops and ignore it. *)
+    R7, R8) drive their own sequential loops and ignore it.
+
+    [engine] (default [false]) routes every measured cell through the
+    flat-frontier kernels ({!Replicate.broadcast_times}'s [~engine]); cells
+    are bit-identical either way, so the flag only changes wall-clock. *)
 
 val with_metrics_sink : Rumor_obs.Run_record.sink -> (unit -> 'a) -> 'a
 (** [with_metrics_sink sink f] installs [sink] for the dynamic extent of
@@ -60,3 +65,7 @@ val with_metrics_sink : Rumor_obs.Run_record.sink -> (unit -> 'a) -> 'a
 val with_jobs : int -> (unit -> 'a) -> 'a
 (** [with_jobs jobs f] sets the replication parallelism degree for the
     dynamic extent of [f], like {!with_metrics_sink} does for the sink. *)
+
+val with_engine : bool -> (unit -> 'a) -> 'a
+(** [with_engine on f] routes measured cells through the engine kernels for
+    the dynamic extent of [f] (same scoping as {!with_jobs}). *)

@@ -50,6 +50,10 @@ let resolve_lazy laziness g =
   | Lazy_on -> true
   | Lazy_auto -> Rumor_graph.Algo.is_bipartite g
 
+let engine_capable = function
+  | Push | Push_pull | Visit_exchange _ | Meet_exchange _ -> true
+  | Combined _ | Pull | Quasi_push | Cobra _ | Frog _ | Flood -> false
+
 let run ?traffic ?obs spec rng g ~source ~max_rounds =
   match spec with
   | Push -> P.Push.run ?traffic ?obs rng g ~source ~max_rounds ()
@@ -73,3 +77,21 @@ let run ?traffic ?obs spec rng g ~source ~max_rounds =
       (P.Frog.run ?obs ~frogs_per_vertex rng g ~source ~max_rounds ())
         .P.Frog.run_result
   | Flood -> P.Flood.run ?obs g ~source ~max_rounds ()
+
+let run_engine ?traffic ?obs ?shards ?pool spec rng g ~source ~max_rounds =
+  match spec with
+  | Push -> P.Engine.push ?traffic ?obs ?shards ?pool rng g ~source ~max_rounds ()
+  | Push_pull ->
+      P.Engine.push_pull ?traffic ?obs ?shards ?pool rng g ~source ~max_rounds ()
+  | Visit_exchange { agents; laziness } ->
+      let lazy_walk = resolve_lazy laziness g in
+      P.Engine.visit_exchange ?traffic ?obs ~lazy_walk ?shards ?pool rng g ~source
+        ~agents ~max_rounds ()
+  | Meet_exchange { agents; laziness } ->
+      let lazy_walk = resolve_lazy laziness g in
+      P.Engine.meet_exchange ?traffic ?obs ~lazy_walk ?shards ?pool rng g ~source
+        ~agents ~max_rounds ()
+  | (Combined _ | Pull | Quasi_push | Cobra _ | Frog _ | Flood) as other ->
+      (* no engine kernel (yet): fall back to the legacy implementation,
+         which consumes the rng identically for every [shards] value *)
+      run ?traffic ?obs other rng g ~source ~max_rounds

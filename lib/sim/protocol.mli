@@ -55,3 +55,26 @@ val run :
     protocol: each fires {!Rumor_obs.Instrument} hooks once per round plus
     one [on_contact] per communication (and [on_walker_move] per agent step
     for the agent-based processes). *)
+
+val engine_capable : spec -> bool
+(** Whether {!run_engine} has a flat-frontier kernel for this spec (push,
+    push-pull, visit-exchange and meet-exchange). *)
+
+val run_engine :
+  ?traffic:Rumor_protocols.Traffic.t ->
+  ?obs:Rumor_obs.Instrument.t ->
+  ?shards:int ->
+  ?pool:Rumor_par.Pool.t ->
+  spec ->
+  Rumor_prob.Rng.t ->
+  Rumor_graph.Graph.t ->
+  source:int ->
+  max_rounds:int ->
+  Rumor_protocols.Run_result.t
+(** Like {!run} but dispatching the four core kernels to
+    {!Rumor_protocols.Engine} (flat frontier arrays + bitset informed-state;
+    memory O(n + m + rounds run)).  With the default [?shards:1] the result
+    is bit-identical to {!run} on the same seed; [shards > 1] re-keys
+    randomness per round ({!Rumor_prob.Rng.split_n}, one child per shard)
+    and is a pure function of (seed, shards), independent of [?pool]'s
+    parallelism.  Specs without an engine kernel fall back to {!run}. *)

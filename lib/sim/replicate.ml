@@ -56,8 +56,8 @@ let measure ?(on_capped = `Keep) ?record ?(jobs = 1) ~seed ~reps f =
   in
   { times; capped = !capped; summary = Stats.summarize times }
 
-let broadcast_times ?on_capped ?sink ?(graph_name = "custom") ?jobs ~seed ~reps
-    ~graph ~spec ~max_rounds () =
+let broadcast_times ?on_capped ?sink ?(graph_name = "custom") ?jobs
+    ?(engine = false) ?shards ~seed ~reps ~graph ~spec ~max_rounds () =
   (* [graph rng] re-samples per replication inside [f]; each rep writes |V|
      to its own slot, read back by the rep-ordered record pass. *)
   let vertices = Array.make (max reps 1) 0 in
@@ -84,7 +84,12 @@ let broadcast_times ?on_capped ?sink ?(graph_name = "custom") ?jobs ~seed ~reps
   measure ?on_capped ?record ?jobs ~seed ~reps (fun ~rep rng ->
       let g, source = graph rng in
       vertices.(rep) <- Graph.n g;
-      Protocol.run spec rng g ~source ~max_rounds)
+      if engine then
+        (* engine shards run on the default sequential pool here: the rep
+           level already owns the [?jobs] domains, and sharded results are
+           jobs-independent by construction anyway *)
+        Protocol.run_engine ?shards spec rng g ~source ~max_rounds
+      else Protocol.run spec rng g ~source ~max_rounds)
 
 let mean m = m.summary.Stats.mean
 let median m = m.summary.Stats.median

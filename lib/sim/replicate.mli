@@ -59,6 +59,8 @@ val broadcast_times :
   ?sink:Rumor_obs.Run_record.sink ->
   ?graph_name:string ->
   ?jobs:int ->
+  ?engine:bool ->
+  ?shards:int ->
   seed:int ->
   reps:int ->
   graph:(Rumor_prob.Rng.t -> Rumor_graph.Graph.t * int) ->
@@ -75,7 +77,15 @@ val broadcast_times :
     with [graph_name] (default ["custom"]) and [Protocol.name spec], always
     in ascending rep order: a JSONL sink written under [jobs > 1] is
     byte-identical to the sequential one up to the per-rep [wall_seconds]
-    and [gc] timing fields. *)
+    and [gc] timing fields.
+
+    [~engine:true] routes each replication through {!Protocol.run_engine}
+    (the flat-frontier kernels) instead of {!Protocol.run}; with the default
+    [?shards] (1) every record is bit-identical to the legacy path, so
+    flipping the flag is a pure performance choice.  [?shards] with
+    [engine] re-keys randomness per round as documented on
+    {!Protocol.run_engine}; the sharded work itself runs sequentially
+    inside each replication (the [?jobs] pool already owns the domains). *)
 
 val mean : measurement -> float
 val median : measurement -> float

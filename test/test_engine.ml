@@ -1,0 +1,342 @@
+(* Tests for Rumor_protocols.Engine: the flat-frontier/bitset kernels must
+   be bit-identical to the legacy kernels at shards = 1, and a pure function
+   of (seed, shards) — never of the pool's jobs — at shards > 1. *)
+
+module Rng = Rumor_prob.Rng
+module Graph = Rumor_graph.Graph
+module Gen = Rumor_graph.Gen_basic
+module Gen_random = Rumor_graph.Gen_random
+module Placement = Rumor_agents.Placement
+module P = Rumor_protocols
+module Engine = Rumor_protocols.Engine
+module Run_result = Rumor_protocols.Run_result
+module Traffic = Rumor_protocols.Traffic
+module Instrument = Rumor_obs.Instrument
+module Pool = Rumor_par.Pool
+
+let check_same_result label (a : Run_result.t) (b : Run_result.t) =
+  Alcotest.(check (option int))
+    (label ^ ": broadcast_time") a.Run_result.broadcast_time b.Run_result.broadcast_time;
+  Alcotest.(check int) (label ^ ": rounds_run") a.Run_result.rounds_run
+    b.Run_result.rounds_run;
+  Alcotest.(check int) (label ^ ": contacts") a.Run_result.contacts b.Run_result.contacts;
+  Alcotest.(check (array int))
+    (label ^ ": informed_curve") a.Run_result.informed_curve b.Run_result.informed_curve;
+  Alcotest.(check (option int))
+    (label ^ ": all_agents_informed") a.Run_result.all_agents_informed
+    b.Run_result.all_agents_informed
+
+(* the graph families the equivalence sweep runs over: regular and not,
+   bipartite and not, dense and sparse *)
+let families () =
+  [
+    ("complete16", Gen.complete 16);
+    ("torus6x6", Gen.torus ~rows:6 ~cols:6);
+    ("path12", Gen.path 12);
+    ("star9", Gen.star ~leaves:9);
+    ("er40", Gen_random.erdos_renyi (Rng.of_int 4242) ~n:40 ~p:0.15);
+    ("reg3x20", Gen_random.random_regular_connected (Rng.of_int 777) ~n:20 ~d:3);
+  ]
+
+let seeds = [ 1; 42; 9001 ]
+
+(* --------------------------- shards = 1 bit-identity with legacy kernels *)
+
+let test_push_matches_legacy () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun seed ->
+          let legacy =
+            P.Push.run (Rng.of_int seed) g ~source:0 ~max_rounds:100_000 ()
+          in
+          let engine =
+            Engine.push (Rng.of_int seed) g ~source:0 ~max_rounds:100_000 ()
+          in
+          check_same_result (Printf.sprintf "push %s seed=%d" name seed) legacy engine)
+        seeds)
+    (families ())
+
+let test_push_failure_prob_matches_legacy () =
+  let g = Gen.complete 24 in
+  List.iter
+    (fun seed ->
+      let legacy =
+        P.Push.run ~failure_prob:0.3 (Rng.of_int seed) g ~source:3
+          ~max_rounds:100_000 ()
+      in
+      let engine =
+        Engine.push ~failure_prob:0.3 (Rng.of_int seed) g ~source:3
+          ~max_rounds:100_000 ()
+      in
+      check_same_result (Printf.sprintf "push fp seed=%d" seed) legacy engine)
+    seeds
+
+let test_push_tau_matches_informed_times () =
+  List.iter
+    (fun (name, g) ->
+      let n = Graph.n g in
+      let tau_legacy =
+        P.Push.informed_times (Rng.of_int 55) g ~source:0 ~max_rounds:100_000
+      in
+      let tau = Array.make n 0 in
+      let (_ : Run_result.t) =
+        Engine.push ~tau (Rng.of_int 55) g ~source:0 ~max_rounds:100_000 ()
+      in
+      Alcotest.(check (array int)) (name ^ ": tau") tau_legacy tau)
+    (families ())
+
+let test_push_pull_matches_legacy () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun seed ->
+          let legacy =
+            P.Push_pull.run (Rng.of_int seed) g ~source:1 ~max_rounds:100_000 ()
+          in
+          let engine =
+            Engine.push_pull (Rng.of_int seed) g ~source:1 ~max_rounds:100_000 ()
+          in
+          check_same_result
+            (Printf.sprintf "push_pull %s seed=%d" name seed)
+            legacy engine)
+        seeds)
+    (families ())
+
+let agent_specs = [ Placement.Stationary 12; Placement.One_per_vertex ]
+
+let test_visit_exchange_matches_legacy () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun seed ->
+          List.iter
+            (fun agents ->
+              List.iter
+                (fun lazy_walk ->
+                  let legacy =
+                    P.Visit_exchange.run ~lazy_walk (Rng.of_int seed) g ~source:0
+                      ~agents ~max_rounds:100_000 ()
+                  in
+                  let engine =
+                    Engine.visit_exchange ~lazy_walk (Rng.of_int seed) g ~source:0
+                      ~agents ~max_rounds:100_000 ()
+                  in
+                  check_same_result
+                    (Printf.sprintf "ve %s seed=%d lazy=%b" name seed lazy_walk)
+                    legacy engine)
+                [ false; true ])
+            agent_specs)
+        seeds)
+    (families ())
+
+let test_meet_exchange_matches_legacy () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun seed ->
+          (* omitted lazy_walk exercises the bipartiteness auto-default in
+             both implementations *)
+          let legacy =
+            P.Meet_exchange.run (Rng.of_int seed) g ~source:0
+              ~agents:(Placement.Stationary 14) ~max_rounds:20_000 ()
+          in
+          let engine =
+            Engine.meet_exchange (Rng.of_int seed) g ~source:0
+              ~agents:(Placement.Stationary 14) ~max_rounds:20_000 ()
+          in
+          check_same_result (Printf.sprintf "me %s seed=%d" name seed) legacy engine)
+        seeds)
+    (families ())
+
+(* ------------------------------------- observation and traffic streams *)
+
+let record_obs run =
+  let rec_ = Instrument.Recorder.create () in
+  let r = run (Instrument.Recorder.instrument rec_) in
+  (r, rec_)
+
+let test_push_obs_stream_matches_legacy () =
+  let g = Gen.torus ~rows:5 ~cols:5 in
+  let r1, o1 =
+    record_obs (fun obs ->
+        P.Push.run ~obs (Rng.of_int 7) g ~source:0 ~max_rounds:100_000 ())
+  in
+  let r2, o2 =
+    record_obs (fun obs ->
+        Engine.push ~obs (Rng.of_int 7) g ~source:0 ~max_rounds:100_000 ())
+  in
+  check_same_result "push obs" r1 r2;
+  Alcotest.(check int) "contacts seen" (Instrument.Recorder.contacts o1)
+    (Instrument.Recorder.contacts o2);
+  Alcotest.(check (array int)) "per-round curve" (Instrument.Recorder.curve o1)
+    (Instrument.Recorder.curve o2)
+
+let test_walker_obs_stream_matches_legacy () =
+  let g = Gen.complete 10 in
+  let r1, o1 =
+    record_obs (fun obs ->
+        P.Visit_exchange.run ~obs (Rng.of_int 8) g ~source:0
+          ~agents:(Placement.Stationary 8) ~max_rounds:100_000 ())
+  in
+  let r2, o2 =
+    record_obs (fun obs ->
+        Engine.visit_exchange ~obs (Rng.of_int 8) g ~source:0
+          ~agents:(Placement.Stationary 8) ~max_rounds:100_000 ())
+  in
+  check_same_result "ve obs" r1 r2;
+  Alcotest.(check int) "walker moves" (Instrument.Recorder.walker_moves o1)
+    (Instrument.Recorder.walker_moves o2);
+  Alcotest.(check int) "contacts seen" (Instrument.Recorder.contacts o1)
+    (Instrument.Recorder.contacts o2)
+
+let test_traffic_matches_legacy () =
+  let g = Gen.complete 12 in
+  let t1 = Traffic.create g and t2 = Traffic.create g in
+  let r1 =
+    P.Push_pull.run ~traffic:t1 (Rng.of_int 9) g ~source:0 ~max_rounds:100_000 ()
+  in
+  let r2 =
+    Engine.push_pull ~traffic:t2 (Rng.of_int 9) g ~source:0 ~max_rounds:100_000 ()
+  in
+  check_same_result "pp traffic" r1 r2;
+  Alcotest.(check (array int)) "per-edge loads" (Traffic.loads t1) (Traffic.loads t2)
+
+(* --------------------------------------------- sharded-path determinism *)
+
+let sharded_runs ~shards ~jobs =
+  let pool = Pool.create ~jobs in
+  (* connected with min degree 4: push_pull draws a neighbor for every
+     vertex, so the sharded sweep needs no isolated vertices *)
+  let g = Gen.torus ~rows:8 ~cols:8 in
+  [
+    ("push", Engine.push ~shards ~pool (Rng.of_int 11) g ~source:0 ~max_rounds:100_000 ());
+    ( "push_pull",
+      Engine.push_pull ~shards ~pool (Rng.of_int 11) g ~source:0 ~max_rounds:100_000 () );
+    ( "visit_exchange",
+      Engine.visit_exchange ~shards ~pool (Rng.of_int 11) g ~source:0
+        ~agents:(Placement.Stationary 20) ~max_rounds:100_000 () );
+    ( "meet_exchange",
+      Engine.meet_exchange ~shards ~pool (Rng.of_int 11) g ~source:0
+        ~agents:(Placement.Stationary 20) ~max_rounds:20_000 () );
+  ]
+
+let test_sharded_jobs_invariant () =
+  (* shards = 4 must give the same answer whether the pool runs 1 or 4 jobs *)
+  List.iter2
+    (fun (name, r1) (name2, r4) ->
+      Alcotest.(check string) "same kernel" name name2;
+      check_same_result (name ^ " jobs 1 vs 4") r1 r4)
+    (sharded_runs ~shards:4 ~jobs:1)
+    (sharded_runs ~shards:4 ~jobs:4)
+
+let test_sharded_runs_complete () =
+  List.iter
+    (fun (name, r) ->
+      Alcotest.(check bool) (name ^ " completes sharded") true (Run_result.completed r))
+    (sharded_runs ~shards:3 ~jobs:2)
+
+let test_sharded_push_same_distribution_shape () =
+  (* sharded randomness differs from sequential, but the curve must still be
+     a valid push curve: monotone, at-most-doubling, ending at n *)
+  let g = Gen.complete 32 in
+  let r =
+    Engine.push ~shards:4 ~pool:(Pool.create ~jobs:1) (Rng.of_int 13) g ~source:0
+      ~max_rounds:100_000 ()
+  in
+  let curve = r.Run_result.informed_curve in
+  Alcotest.(check int) "starts at 1" 1 curve.(0);
+  Alcotest.(check int) "ends at n" 32 curve.(Array.length curve - 1);
+  for i = 1 to Array.length curve - 1 do
+    if curve.(i) < curve.(i - 1) then Alcotest.fail "curve not monotone";
+    if curve.(i) > 2 * curve.(i - 1) then Alcotest.fail "curve more than doubled"
+  done
+
+(* -------------------------------------------- huge-cap allocation bound *)
+
+let test_huge_cap_completes () =
+  (* max_rounds = max_int must be safe: memory is O(rounds run), not O(cap) *)
+  let g = Gen.path 40 in
+  let before = Gc.allocated_bytes () in
+  let r = Engine.push (Rng.of_int 17) g ~source:0 ~max_rounds:max_int () in
+  let r2 = P.Push.run (Rng.of_int 17) g ~source:0 ~max_rounds:max_int () in
+  let allocated = Gc.allocated_bytes () -. before in
+  check_same_result "huge cap" r r2;
+  Alcotest.(check bool) "completed" true (Run_result.completed r);
+  (* two complete path-40 runs allocate well under a megabyte; an O(cap)
+     curve would be ~70 TB here *)
+  Alcotest.(check bool)
+    (Printf.sprintf "allocation bounded (%.0f bytes)" allocated)
+    true
+    (allocated < 1_000_000.0)
+
+let test_huge_cap_walkers () =
+  let g = Gen.complete 8 in
+  let r =
+    Engine.meet_exchange (Rng.of_int 19) g ~source:0
+      ~agents:(Placement.Stationary 6) ~max_rounds:max_int ()
+  in
+  Alcotest.(check bool) "completed" true (Run_result.completed r)
+
+(* ----------------------------------------------------------- validation *)
+
+let test_validation () =
+  let g = Gen.complete 4 in
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "bad source" true
+    (bad (fun () -> Engine.push (Rng.of_int 1) g ~source:9 ~max_rounds:10 ()));
+  Alcotest.(check bool) "negative cap" true
+    (bad (fun () -> Engine.push_pull (Rng.of_int 1) g ~source:0 ~max_rounds:(-1) ()));
+  Alcotest.(check bool) "zero shards" true
+    (bad (fun () -> Engine.push ~shards:0 (Rng.of_int 1) g ~source:0 ~max_rounds:10 ()));
+  Alcotest.(check bool) "bad failure prob" true
+    (bad (fun () ->
+         Engine.push ~failure_prob:1.0 (Rng.of_int 1) g ~source:0 ~max_rounds:10 ()));
+  Alcotest.(check bool) "short tau" true
+    (bad (fun () ->
+         Engine.push ~tau:(Array.make 2 0) (Rng.of_int 1) g ~source:0 ~max_rounds:10 ()))
+
+(* ------------------------------------------------------------ curve buf *)
+
+let test_curve_buf () =
+  let b = P.Curve_buf.create ~hint:max_int in
+  Alcotest.(check int) "empty" 0 (P.Curve_buf.length b);
+  for i = 0 to 999 do
+    P.Curve_buf.push b (i * i)
+  done;
+  Alcotest.(check int) "length" 1000 (P.Curve_buf.length b);
+  Alcotest.(check int) "get" (25 * 25) (P.Curve_buf.get b 25);
+  P.Curve_buf.set_last b 7;
+  let c = P.Curve_buf.contents b in
+  Alcotest.(check int) "contents length" 1000 (Array.length c);
+  Alcotest.(check int) "set_last" 7 c.(999);
+  Alcotest.(check int) "tiny hint ok" 0 (P.Curve_buf.length (P.Curve_buf.create ~hint:0))
+
+let suite =
+  [
+    Alcotest.test_case "push = legacy (seeds x families)" `Quick test_push_matches_legacy;
+    Alcotest.test_case "push + failures = legacy" `Quick
+      test_push_failure_prob_matches_legacy;
+    Alcotest.test_case "push tau = informed_times" `Quick
+      test_push_tau_matches_informed_times;
+    Alcotest.test_case "push_pull = legacy (seeds x families)" `Quick
+      test_push_pull_matches_legacy;
+    Alcotest.test_case "visit_exchange = legacy (specs x lazy)" `Quick
+      test_visit_exchange_matches_legacy;
+    Alcotest.test_case "meet_exchange = legacy (auto lazy)" `Quick
+      test_meet_exchange_matches_legacy;
+    Alcotest.test_case "push obs stream = legacy" `Quick
+      test_push_obs_stream_matches_legacy;
+    Alcotest.test_case "walker obs stream = legacy" `Quick
+      test_walker_obs_stream_matches_legacy;
+    Alcotest.test_case "per-edge traffic = legacy" `Quick test_traffic_matches_legacy;
+    Alcotest.test_case "sharded: jobs cannot change output" `Quick
+      test_sharded_jobs_invariant;
+    Alcotest.test_case "sharded runs complete" `Quick test_sharded_runs_complete;
+    Alcotest.test_case "sharded push curve shape" `Quick
+      test_sharded_push_same_distribution_shape;
+    Alcotest.test_case "max_int cap: O(rounds) allocation" `Quick test_huge_cap_completes;
+    Alcotest.test_case "max_int cap: walkers" `Quick test_huge_cap_walkers;
+    Alcotest.test_case "argument validation" `Quick test_validation;
+    Alcotest.test_case "curve buffer" `Quick test_curve_buf;
+  ]

@@ -152,6 +152,84 @@ let prop_random_graph_validates =
       Graph.num_edges g = m
       && Graph.total_degree g = 2 * m)
 
+(* --- streaming Builder ------------------------------------------------ *)
+
+let graph_equal g1 g2 =
+  Graph.n g1 = Graph.n g2
+  && Graph.num_edges g1 = Graph.num_edges g2
+  &&
+  let same = ref true in
+  for u = 0 to Graph.n g1 - 1 do
+    if Graph.degree g1 u <> Graph.degree g2 u then same := false
+    else
+      for i = 0 to Graph.degree g1 u - 1 do
+        if Graph.neighbor g1 u i <> Graph.neighbor g2 u i then same := false
+      done
+  done;
+  !same
+
+let test_builder_matches_of_edges () =
+  let edges = [ (3, 1); (0, 4); (1, 0); (2, 4); (0, 2) ] in
+  let b = Graph.Builder.create ~n:5 () in
+  List.iter (fun (u, v) -> Graph.Builder.add_edge b u v) edges;
+  Alcotest.(check int) "edge_count" 5 (Graph.Builder.edge_count b);
+  Alcotest.(check int) "vertex_count" 5 (Graph.Builder.vertex_count b);
+  Alcotest.(check bool) "builder = of_edges" true
+    (graph_equal (Graph.Builder.finish b) (Graph.of_edges ~n:5 edges))
+
+let test_builder_grows_past_capacity () =
+  (* capacity is only a hint: push far more edges than the initial buffers *)
+  let n = 40 in
+  let b = Graph.Builder.create ~capacity:2 ~n () in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      Graph.Builder.add_edge b u v;
+      edges := (u, v) :: !edges
+    done
+  done;
+  Alcotest.(check bool) "grown builder = of_edges" true
+    (graph_equal (Graph.Builder.finish b) (Graph.of_edges ~n !edges))
+
+let test_builder_rejects_bad_edges () =
+  let b = Graph.Builder.create ~n:4 () in
+  let rejects u v =
+    try
+      Graph.Builder.add_edge b u v;
+      Alcotest.fail (Printf.sprintf "accepted edge (%d, %d)" u v)
+    with Invalid_argument _ -> ()
+  in
+  rejects 1 1;
+  rejects (-1) 2;
+  rejects 0 4
+
+let test_builder_rejects_duplicate_at_finish () =
+  let b = Graph.Builder.create ~n:3 () in
+  Graph.Builder.add_edge b 0 1;
+  Graph.Builder.add_edge b 1 0;
+  try
+    ignore (Graph.Builder.finish b);
+    Alcotest.fail "duplicate edge accepted"
+  with Invalid_argument _ -> ()
+
+let test_builder_single_use () =
+  let b = Graph.Builder.create ~n:2 () in
+  Graph.Builder.add_edge b 0 1;
+  ignore (Graph.Builder.finish b);
+  (try
+     Graph.Builder.add_edge b 0 1;
+     Alcotest.fail "add_edge after finish accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Graph.Builder.finish b);
+    Alcotest.fail "second finish accepted"
+  with Invalid_argument _ -> ()
+
+let test_builder_edgeless () =
+  let g = Graph.Builder.finish (Graph.Builder.create ~n:6 ()) in
+  Alcotest.(check int) "n" 6 (Graph.n g);
+  Alcotest.(check int) "m" 0 (Graph.num_edges g)
+
 let suite =
   [
     Alcotest.test_case "vertex/edge counts" `Quick test_counts;
@@ -170,5 +248,15 @@ let suite =
     Alcotest.test_case "degrees array" `Quick test_degrees_array;
     Alcotest.test_case "validate accepts generators" `Quick test_validate_accepts_generators;
     Alcotest.test_case "edgeless graph" `Quick test_empty_graph;
+    Alcotest.test_case "builder matches of_edges" `Quick
+      test_builder_matches_of_edges;
+    Alcotest.test_case "builder grows past capacity" `Quick
+      test_builder_grows_past_capacity;
+    Alcotest.test_case "builder rejects bad edges" `Quick
+      test_builder_rejects_bad_edges;
+    Alcotest.test_case "builder rejects duplicate at finish" `Quick
+      test_builder_rejects_duplicate_at_finish;
+    Alcotest.test_case "builder is single-use" `Quick test_builder_single_use;
+    Alcotest.test_case "builder edgeless graph" `Quick test_builder_edgeless;
     QCheck_alcotest.to_alcotest prop_random_graph_validates;
   ]

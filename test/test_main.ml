@@ -38,6 +38,7 @@ let () =
       ("protocols.frog", Test_frog.suite);
       ("protocols.multi_rumor", Test_multi_rumor.suite);
       ("protocols.tweaked_visit_exchange", Test_tweaked_visit_exchange.suite);
+      ("protocols.engine", Test_engine.suite);
       ("sim.protocol", Test_protocol.suite);
       ("sim.graph_spec", Test_graph_spec.suite);
       ("par.pool", Test_par.suite);

@@ -72,6 +72,50 @@ let test_graph_resampled_per_replication () =
   Alcotest.(check (array (float 1e-9))) "reproducible with random graphs"
     m1.Replicate.times m2.Replicate.times
 
+(* The engine path must be invisible in every observable: identical
+   measurements AND an identical sink stream (records carry the informed
+   curve, so this also pins per-round dynamics), up to per-rep timing. *)
+let test_engine_sink_stream_identical () =
+  let detimed (r : Rumor_obs.Run_record.t) =
+    Rumor_obs.Run_record.to_json
+      {
+        r with
+        Rumor_obs.Run_record.wall_seconds = 0.0;
+        gc = { minor_words = 0.0; major_words = 0.0; promoted_words = 0.0 };
+      }
+  in
+  let graph rng =
+    (Rumor_graph.Gen_random.random_regular_connected rng ~n:48 ~d:4, 0)
+  in
+  List.iter
+    (fun spec ->
+      let run ~engine =
+        let records = ref [] in
+        let m =
+          Replicate.broadcast_times
+            ~sink:(fun r -> records := r :: !records)
+            ~graph_name:"rr:48,4" ~engine ~seed:220 ~reps:4 ~graph ~spec
+            ~max_rounds:100_000 ()
+        in
+        (m, List.rev_map detimed !records)
+      in
+      let legacy, legacy_records = run ~engine:false in
+      let engine, engine_records = run ~engine:true in
+      Alcotest.(check (array (float 0.0)))
+        (Protocol.name spec ^ ": times identical")
+        legacy.Replicate.times engine.Replicate.times;
+      Alcotest.(check (list string))
+        (Protocol.name spec ^ ": sink stream identical (sans timing)")
+        legacy_records engine_records)
+    [
+      Protocol.push;
+      Protocol.push_pull;
+      Protocol.visit_exchange ();
+      Protocol.meet_exchange ();
+      (* not engine-capable: must silently fall back to the legacy path *)
+      Protocol.pull;
+    ]
+
 let suite =
   [
     Alcotest.test_case "replication count" `Quick test_rep_count;
@@ -83,4 +127,6 @@ let suite =
     Alcotest.test_case "broadcast_times wrapper" `Quick test_broadcast_times_wrapper;
     Alcotest.test_case "random graphs reproducible" `Quick
       test_graph_resampled_per_replication;
+    Alcotest.test_case "engine path: identical sink stream" `Quick
+      test_engine_sink_stream_identical;
   ]
