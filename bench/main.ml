@@ -21,17 +21,23 @@ module Experiments = Rumor_sim.Experiments
 module Table = Rumor_sim.Table
 module Rng = Rumor_prob.Rng
 module P = Rumor_protocols
+module Clock = Rumor_obs.Clock
+module Trace = Rumor_obs.Trace
+
+let write_trace tr path =
+  if Filename.check_suffix path ".jsonl" then Trace.write_jsonl tr path
+  else Trace.write_chrome tr path
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: the paper's tables and figures                              *)
 (* ------------------------------------------------------------------ *)
 
-let run_tables ?metrics ~jobs profile ~seed =
+let run_tables ?metrics ?trace ~jobs profile ~seed =
   print_endline "=====================================================================";
   print_endline " Part 1: paper reproduction tables";
   print_endline " (one experiment per figure panel / theorem; see DESIGN.md section 3)";
   print_endline "=====================================================================";
-  let results = Experiments.run_all ?metrics ~jobs profile ~seed in
+  let results = Experiments.run_all ?metrics ?trace ~jobs profile ~seed in
   List.iter
     (fun ((e : Experiments.t), tables) ->
       Printf.printf "\n### %s: %s [%s]\n\n" e.Experiments.id e.Experiments.title
@@ -145,7 +151,7 @@ let human_ns t =
    BENCH_b.json` of two snapshots taken at different --jobs shows the
    speedup as the ratio column; the snapshot's [jobs] field tells the runs
    apart. *)
-let run_macro ~jobs =
+let run_macro ?trace ~jobs () =
   print_endline "=====================================================================";
   Printf.printf " Part 3: macro replication wall-clock (jobs %d)\n" jobs;
   print_endline "=====================================================================";
@@ -156,12 +162,12 @@ let run_macro ~jobs =
     (Rumor_graph.Gen_random.random_regular_connected rng ~n:2048 ~d:8, 0)
   in
   let time name spec =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Clock.now_s () in
     let m =
-      Replicate.broadcast_times ~jobs ~seed:42 ~reps:12 ~graph ~spec
+      Replicate.broadcast_times ?trace ~jobs ~seed:42 ~reps:12 ~graph ~spec
         ~max_rounds:100_000 ()
     in
-    let dt_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+    let dt_ns = Clock.elapsed_ns ~since_s:t0 in
     Printf.printf "%-40s %15s  (mean bt %.1f)\n" name (human_ns dt_ns)
       m.Replicate.summary.Rumor_prob.Stats.mean;
     { Rumor_obs.Bench_record.name; time_ns = dt_ns; r_square = nan }
@@ -231,10 +237,12 @@ let entry name time_ns = { Rumor_obs.Bench_record.name; time_ns; r_square = nan 
 (* One timed engine run -> total, per-round and per-contact entries, so
    `rumor_report compare` tracks rounds/sec and edge-traversals/sec across
    snapshots. *)
-let engine_run ~n name run =
-  let t0 = Unix.gettimeofday () in
-  let (r : P.Run_result.t) = run () in
-  let dt_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+let engine_run ?trace ~n name run =
+  let t0 = Clock.now_s () in
+  let (r : P.Run_result.t) =
+    Trace.with_span trace (Printf.sprintf "bench.%s.er-%d" name n) run
+  in
+  let dt_ns = Clock.elapsed_ns ~since_s:t0 in
   let rounds = float_of_int (max r.P.Run_result.rounds_run 1) in
   let contacts = float_of_int (max r.P.Run_result.contacts 1) in
   Printf.printf "%-28s %12s  %12s/round  %6.1f ns/contact  (%d rounds%s)\n" name
@@ -252,7 +260,7 @@ let engine_run ~n name run =
       (dt_ns /. contacts);
   ]
 
-let run_engine_bench ~scale ~push_scale ~shards =
+let run_engine_bench ?trace ~scale ~push_scale ~shards () =
   print_endline "=====================================================================";
   Printf.printf " Part 4: engine hot path (flat-frontier kernels, shards %d)\n" shards;
   print_endline "=====================================================================";
@@ -260,30 +268,31 @@ let run_engine_bench ~scale ~push_scale ~shards =
   let agents = Rumor_agents.Placement.Linear 1.0 in
   let max_rounds = 100_000 in
   let all_kernels n =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Clock.now_s () in
     let g = engine_graph ~seed:2024 n in
-    let build_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+    let build_ns = Clock.elapsed_ns ~since_s:t0 in
     Printf.printf "er:%d — %d edges, built in %s\n" n
       (Rumor_graph.Graph.num_edges g)
       (human_ns build_ns);
     (* sequential lets: a list literal would evaluate (and print) the
        kernels right-to-left *)
     let push =
-      engine_run ~n "push" (fun () ->
-          Engine.push ~shards (Rng.of_int 31) g ~source:0 ~max_rounds ())
+      engine_run ?trace ~n "push" (fun () ->
+          Engine.push ?trace ~shards (Rng.of_int 31) g ~source:0 ~max_rounds ())
     in
     let push_pull =
-      engine_run ~n "push-pull" (fun () ->
-          Engine.push_pull ~shards (Rng.of_int 32) g ~source:0 ~max_rounds ())
+      engine_run ?trace ~n "push-pull" (fun () ->
+          Engine.push_pull ?trace ~shards (Rng.of_int 32) g ~source:0 ~max_rounds
+            ())
     in
     let ve =
-      engine_run ~n "visit-exchange" (fun () ->
-          Engine.visit_exchange ~shards (Rng.of_int 33) g ~source:0 ~agents
-            ~max_rounds ())
+      engine_run ?trace ~n "visit-exchange" (fun () ->
+          Engine.visit_exchange ?trace ~shards (Rng.of_int 33) g ~source:0
+            ~agents ~max_rounds ())
     in
     let me =
-      engine_run ~n "meet-exchange" (fun () ->
-          Engine.meet_exchange ~shards (Rng.of_int 34) g ~source:0 ~agents
+      engine_run ?trace ~n "meet-exchange" (fun () ->
+          Engine.meet_exchange ?trace ~shards (Rng.of_int 34) g ~source:0 ~agents
             ~max_rounds ())
     in
     entry (Printf.sprintf "engine/graph-build/er-%d" n) build_ns
@@ -295,15 +304,16 @@ let run_engine_bench ~scale ~push_scale ~shards =
   let demo =
     if push_scale <= 0 then []
     else begin
-      let t0 = Unix.gettimeofday () in
+      let t0 = Clock.now_s () in
       let g = engine_graph ~seed:4048 push_scale in
-      let build_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+      let build_ns = Clock.elapsed_ns ~since_s:t0 in
       Printf.printf "er:%d — %d edges, built in %s\n" push_scale
         (Rumor_graph.Graph.num_edges g)
         (human_ns build_ns);
       entry (Printf.sprintf "engine/graph-build/er-%d" push_scale) build_ns
-      :: engine_run ~n:push_scale "push" (fun () ->
-             Engine.push ~shards (Rng.of_int 35) g ~source:0 ~max_rounds ())
+      :: engine_run ?trace ~n:push_scale "push" (fun () ->
+             Engine.push ?trace ~shards (Rng.of_int 35) g ~source:0 ~max_rounds
+               ())
     end
   in
   base @ demo
@@ -313,7 +323,7 @@ let run_engine_bench ~scale ~push_scale ~shards =
 open Cmdliner
 
 let main full tables_only micro_only engine_only seed metrics bench_json jobs
-    engine_scale engine_push_scale shards =
+    engine_scale engine_push_scale shards trace_path =
   if jobs < 0 then begin
     Printf.eprintf "bench: bad --jobs %d (want >= 0; 0 = all cores)\n" jobs;
     exit 2
@@ -323,25 +333,26 @@ let main full tables_only micro_only engine_only seed metrics bench_json jobs
     exit 2
   end;
   let profile = if full then Experiments.Full else Experiments.Quick in
-  let t0 = Unix.gettimeofday () in
+  let trace = Option.map (fun _ -> Trace.create ()) trace_path in
+  let t0 = Clock.now_s () in
   if (not micro_only) && not engine_only then begin
     match metrics with
-    | None -> run_tables ~jobs profile ~seed
+    | None -> run_tables ?trace ~jobs profile ~seed
     | Some path ->
         Rumor_obs.Run_record.with_jsonl_file path (fun sink ->
-            run_tables ~metrics:sink ~jobs profile ~seed);
+            run_tables ~metrics:sink ?trace ~jobs profile ~seed);
         Printf.printf "wrote per-replicate metrics to %s\n" path
   end;
   if (not tables_only) || engine_only then begin
     let entries =
       if engine_only then []
-      else run_micro () @ run_macro ~jobs
+      else run_micro () @ run_macro ?trace ~jobs ()
     in
     let engine_entries =
       if engine_only || engine_scale > 0 then
-        run_engine_bench
+        run_engine_bench ?trace
           ~scale:(if engine_scale > 0 then engine_scale else 200_000)
-          ~push_scale:engine_push_scale ~shards
+          ~push_scale:engine_push_scale ~shards ()
       else []
     in
     let entries = entries @ engine_entries in
@@ -354,7 +365,12 @@ let main full tables_only micro_only engine_only seed metrics bench_json jobs
     Rumor_obs.Bench_record.save path { Rumor_obs.Bench_record.seed; jobs; entries };
     Printf.printf "\nwrote microbenchmark snapshot to %s\n" path
   end;
-  Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)
+  (match (trace, trace_path) with
+  | Some tr, Some path ->
+      write_trace tr path;
+      Printf.printf "wrote trace (%d events) to %s\n" (Trace.events tr) path
+  | _ -> ());
+  Printf.printf "\ntotal bench time: %.1fs\n" (Clock.elapsed_s ~since:t0)
 
 let full_arg =
   Arg.(value & flag & info [ "full" ] ~doc:"Run the full EXPERIMENTS.md grids (slow).")
@@ -429,6 +445,17 @@ let jobs_arg =
           "Replication parallelism for the tables and the macro entries (0 = \
            all cores); recorded in the BENCH snapshot.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record an execution trace of the tables, macro entries and Part 4 \
+           engine runs (Bechamel microbenches are not traced) to $(docv): \
+           Chrome trace_event JSON, or rumor-trace/1 JSONL if $(docv) ends \
+           in .jsonl.")
+
 let cmd =
   let doc = "paper-reproduction tables and engine microbenchmarks" in
   Cmd.v
@@ -436,6 +463,6 @@ let cmd =
     Term.(
       const main $ full_arg $ tables_only_arg $ micro_only_arg $ engine_only_arg
       $ seed_arg $ metrics_arg $ bench_json_arg $ jobs_arg $ engine_scale_arg
-      $ engine_push_scale_arg $ shards_arg)
+      $ engine_push_scale_arg $ shards_arg $ trace_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -11,6 +11,12 @@ module Graph = Rumor_graph.Graph
 module Algo = Rumor_graph.Algo
 module Graph_io = Rumor_graph.Graph_io
 module Graph_spec = Rumor_sim.Graph_spec
+module Clock = Rumor_obs.Clock
+module Trace = Rumor_obs.Trace
+
+let write_trace tr path =
+  if Filename.check_suffix path ".jsonl" then Trace.write_jsonl tr path
+  else Trace.write_chrome tr path
 
 let output text = function
   | None -> print_string text
@@ -47,15 +53,16 @@ let print_analysis g =
         (Rumor_graph.Hitting.max_meeting_time ~lazy_walk g)
     with Invalid_argument _ -> ()
 
-let run graph_text seed dot edges analysis timing out =
+let run graph_text seed dot edges analysis timing trace_path out =
   match Graph_spec.parse graph_text with
   | Error m -> `Error (false, m)
   | Ok spec ->
       let rng = Rng.of_int seed in
-      let started = Unix.gettimeofday () in
+      let trace = Option.map (fun _ -> Trace.create ()) trace_path in
+      let started = Clock.now_s () in
       let allocated_before = Gc.allocated_bytes () in
-      let g, source = Graph_spec.build rng spec in
-      let build_seconds = Unix.gettimeofday () -. started in
+      let g, source = Graph_spec.build ?trace rng spec in
+      let build_seconds = Clock.elapsed_s ~since:started in
       let build_allocated = Gc.allocated_bytes () -. allocated_before in
       if timing then begin
         (* the CSR footprint is what a simulation keeps resident; the
@@ -85,7 +92,15 @@ let run graph_text seed dot edges analysis timing out =
           (Algo.degree_histogram g);
         if analysis && Algo.is_connected g then print_analysis g
       end;
-      `Ok ()
+      (match (trace, trace_path) with
+      | Some tr, Some path -> (
+          match write_trace tr path with
+          | () ->
+              Printf.printf "wrote trace (%d events) to %s\n" (Trace.events tr)
+                path;
+              `Ok ()
+          | exception Sys_error m -> `Error (false, "cannot write trace: " ^ m))
+      | _ -> `Ok ())
 
 let graph_arg =
   let doc = "Graph specification (see rumor_run --help for the families)." in
@@ -118,6 +133,14 @@ let timing_arg =
   in
   Arg.(value & flag & info [ "timing" ] ~doc)
 
+let trace_arg =
+  let doc =
+    "Record the builder's phase spans (edge generation, CSR fill, sort) to \
+     $(docv): Chrome trace_event JSON, or rumor-trace/1 JSONL if $(docv) \
+     ends in .jsonl.  Only the random families are traced."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
 let out_arg =
   let doc = "Write the output to this file instead of stdout." in
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
@@ -129,6 +152,6 @@ let cmd =
     Term.(
       ret
         (const run $ graph_arg $ seed_arg $ dot_arg $ edges_arg $ analysis_arg
-       $ timing_arg $ out_arg))
+       $ timing_arg $ trace_arg $ out_arg))
 
 let () = exit (Cmd.eval cmd)

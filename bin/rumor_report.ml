@@ -277,6 +277,249 @@ let make_baseline path out =
   0
 
 (* ------------------------------------------------------------------ *)
+(* trace: self-time profile of a recorded execution trace              *)
+(* ------------------------------------------------------------------ *)
+
+module Trace = Rumor_obs.Trace
+module Counters = Rumor_obs.Counters
+
+(* Self time is a span's duration minus its direct children's durations.
+   Spans on one track, sorted by start time (ties: outermost — longest —
+   first), nest properly, so a stack sweep finds each span's parent: pop
+   finished spans, and whatever remains on top when a span starts is the
+   span that contains it. *)
+type span_acc = { ev : Trace.event; mutable self_us : float }
+
+let self_times spans =
+  let recs =
+    Array.of_list
+      (List.map (fun e -> { ev = e; self_us = e.Trace.dur_us }) spans)
+  in
+  Array.sort
+    (fun a b ->
+      match Int.compare a.ev.Trace.tid b.ev.Trace.tid with
+      | 0 -> (
+          match Float.compare a.ev.Trace.ts_us b.ev.Trace.ts_us with
+          | 0 -> Float.compare b.ev.Trace.dur_us a.ev.Trace.dur_us
+          | c -> c)
+      | c -> c)
+    recs;
+  let ends r = r.ev.Trace.ts_us +. r.ev.Trace.dur_us in
+  let stack = ref [] in
+  let track = ref min_int in
+  Array.iter
+    (fun r ->
+      if r.ev.Trace.tid <> !track then begin
+        stack := [];
+        track := r.ev.Trace.tid
+      end;
+      let rec pop () =
+        match !stack with
+        | top :: rest when ends top < ends r ->
+            stack := rest;
+            pop ()
+        | _ -> ()
+      in
+      pop ();
+      (match !stack with
+      | parent :: _ -> parent.self_us <- parent.self_us -. r.ev.Trace.dur_us
+      | [] -> ());
+      stack := r :: !stack)
+    recs;
+  recs
+
+type prof = {
+  mutable count : int;
+  mutable total_us : float;
+  mutable self_total_us : float;
+  mutable alloc_w : float;
+  mutable majors : int;
+  mutable durs : float list;
+}
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else sorted.(min (n - 1) (int_of_float (q *. float_of_int (n - 1) +. 0.5)))
+
+let fmt_us us = fmt_ns (1e3 *. us)
+
+(* The parallel_for shard labels: the engine's per-shard draw phases plus
+   the generic default.  Per-rep chunks ("rep.chunk") and round spans carry
+   args too, so the imbalance ratio keys on these names only. *)
+let is_shard_span (e : Trace.event) =
+  Option.is_some e.Trace.arg
+  && (Filename.check_suffix e.Trace.name ".draw"
+     || String.equal e.Trace.name "shard")
+
+let shard_imbalance spans =
+  let totals = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Trace.event) ->
+      if is_shard_span e then
+        match e.Trace.arg with
+        | Some s ->
+            let t = try Hashtbl.find totals s with Not_found -> 0.0 in
+            Hashtbl.replace totals s (t +. e.Trace.dur_us)
+        | None -> ())
+    spans;
+  if Hashtbl.length totals < 2 then None
+  else begin
+    let sum = Hashtbl.fold (fun _ t acc -> acc +. t) totals 0.0 in
+    let mx = Hashtbl.fold (fun _ t acc -> Float.max t acc) totals 0.0 in
+    let mean = sum /. float_of_int (Hashtbl.length totals) in
+    if mean > 0.0 then Some (Hashtbl.length totals, mx /. mean) else None
+  end
+
+let print_trace_counters cs =
+  if not (Counters.is_empty cs) then begin
+    let j = Counters.to_json cs in
+    (match Json.member "counters" j with
+    | Some (Json.Obj ((_ :: _) as kvs)) ->
+        Printf.printf "\ncounters:\n";
+        List.iter
+          (fun (name, v) ->
+            match Json.to_int v with
+            | Some v -> Printf.printf "  %-24s %d\n" name v
+            | None -> ())
+          kvs
+    | _ -> ());
+    match Json.member "histograms" j with
+    | Some (Json.Obj ((_ :: _) as kvs)) ->
+        Printf.printf "histograms:\n";
+        List.iter
+          (fun (name, h) ->
+            let floats m =
+              match Json.member m h with
+              | Some (Json.List l) -> List.filter_map Json.to_float l
+              | _ -> []
+            in
+            let bounds = floats "bounds" and counts = floats "counts" in
+            Printf.printf "  %s: " name;
+            List.iteri
+              (fun i c ->
+                let label =
+                  match List.nth_opt bounds i with
+                  | Some b -> Printf.sprintf "<=%g" b
+                  | None -> "over"
+                in
+                Printf.printf "%s%s:%g" (if i = 0 then "" else " ") label c)
+              counts;
+            print_newline ())
+          kvs
+    | _ -> ()
+  end
+
+let trace_profile path top max_imbalance =
+  let { Trace.file_events; file_counters } =
+    match Trace.read_file path with Ok f -> f | Error msg -> failf "%s" msg
+  in
+  let spans =
+    List.filter (fun e -> e.Trace.ph = `Span) file_events
+  in
+  if List.is_empty spans then begin
+    Printf.printf "%s: no spans recorded\n" path;
+    print_trace_counters file_counters;
+    0
+  end
+  else begin
+    let recs = self_times spans in
+    let wall =
+      Array.fold_left
+        (fun acc r -> Float.max acc (r.ev.Trace.ts_us +. r.ev.Trace.dur_us))
+        0.0 recs
+    in
+    let tids =
+      List.sort_uniq Int.compare (List.map (fun e -> e.Trace.tid) spans)
+    in
+    let by_name : (string, prof) Hashtbl.t = Hashtbl.create 32 in
+    Array.iter
+      (fun r ->
+        let e = r.ev in
+        let p =
+          match Hashtbl.find_opt by_name e.Trace.name with
+          | Some p -> p
+          | None ->
+              let p =
+                {
+                  count = 0;
+                  total_us = 0.0;
+                  self_total_us = 0.0;
+                  alloc_w = 0.0;
+                  majors = 0;
+                  durs = [];
+                }
+              in
+              Hashtbl.add by_name e.Trace.name p;
+              p
+        in
+        p.count <- p.count + 1;
+        p.total_us <- p.total_us +. e.Trace.dur_us;
+        p.self_total_us <- p.self_total_us +. r.self_us;
+        p.alloc_w <- p.alloc_w +. e.Trace.alloc_w;
+        p.majors <- p.majors + e.Trace.major_gcs;
+        p.durs <- e.Trace.dur_us :: p.durs)
+      recs;
+    let profs =
+      Hashtbl.fold (fun name p acc -> (name, p) :: acc) by_name []
+      |> List.sort (fun (_, a) (_, b) ->
+             Float.compare b.self_total_us a.self_total_us)
+    in
+    let total_self =
+      List.fold_left (fun acc (_, p) -> acc +. p.self_total_us) 0.0 profs
+    in
+    let rows =
+      List.filteri (fun i _ -> i < top) profs
+      |> List.map (fun (name, p) ->
+             let sorted = Array.of_list p.durs in
+             Array.sort Float.compare sorted;
+             [
+               name;
+               string_of_int p.count;
+               fmt_us p.total_us;
+               fmt_us p.self_total_us;
+               (if total_self > 0.0 then
+                  Printf.sprintf "%.1f%%" (100.0 *. p.self_total_us /. total_self)
+                else "-");
+               fmt_us (percentile sorted 0.50);
+               fmt_us (percentile sorted 0.99);
+               fmt_words p.alloc_w;
+               string_of_int p.majors;
+             ])
+    in
+    Table.print
+      (Table.make
+         ~title:
+           (Printf.sprintf "span profile of %s (wall %s, %d span(s), %d track(s))"
+              path (fmt_us wall) (List.length spans) (List.length tids))
+         ~claim:"" ~aligns:[ Table.Left ]
+         ~header:
+           [ "span"; "count"; "total"; "self"; "self%"; "p50"; "p99"; "alloc";
+             "majGC" ]
+         rows);
+    if List.length profs > top then
+      Printf.printf "(%d more span name(s); --top to widen)\n"
+        (List.length profs - top);
+    let imbalance = shard_imbalance spans in
+    (match imbalance with
+    | Some (shards, ratio) ->
+        Printf.printf "\nshard imbalance over %d shard(s): max/mean = %.3f\n"
+          shards ratio
+    | None -> ());
+    print_trace_counters file_counters;
+    match (max_imbalance, imbalance) with
+    | Some cap, Some (_, ratio) when ratio > cap ->
+        Printf.printf "\nshard imbalance %.3f exceeds --max-imbalance %.3f — FAIL\n"
+          ratio cap;
+        1
+    | Some cap, None ->
+        Printf.printf
+          "\nno shard spans to check against --max-imbalance %.3f — FAIL\n" cap;
+        1
+    | _ -> 0
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Cmdliner plumbing                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -350,6 +593,31 @@ let baseline_cmd =
       const (fun path out -> handle (fun () -> make_baseline path out))
       $ file_pos ~docv:"FILE.jsonl" 0 $ out_arg)
 
+let trace_cmd =
+  let doc =
+    "self-time profile of a --trace file (Chrome JSON or rumor-trace/1 JSONL)"
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 15
+      & info [ "top" ] ~docv:"N" ~doc:"Show the N hottest span names.")
+  in
+  let max_imbalance_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-imbalance" ] ~docv:"RATIO"
+          ~doc:
+            "Exit 1 if the shard load-imbalance ratio (max over mean of \
+             per-shard draw-span totals) exceeds $(docv), or if the trace \
+             has no shard spans to measure.")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc)
+    Term.(
+      const (fun path top mi -> handle (fun () -> trace_profile path top mi))
+      $ file_pos ~docv:"TRACE" 0 $ top_arg $ max_imbalance_arg)
+
 let cmd =
   let doc = "analyze recorded rumor-spreading metrics" in
   let man =
@@ -372,6 +640,6 @@ let cmd =
   in
   Cmd.group
     (Cmd.info "rumor_report" ~version:"1.0.0" ~doc ~man)
-    [ summary_cmd; compare_cmd; check_cmd; baseline_cmd ]
+    [ summary_cmd; compare_cmd; check_cmd; baseline_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval' cmd)

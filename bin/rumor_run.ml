@@ -12,7 +12,14 @@ module Protocol = Rumor_sim.Protocol
 module Graph_spec = Rumor_sim.Graph_spec
 module Replicate = Rumor_sim.Replicate
 module Run_record = Rumor_obs.Run_record
+module Trace = Rumor_obs.Trace
 module Stats = Rumor_prob.Stats
+
+(* .jsonl gets the streaming rumor-trace/1 form; anything else the Chrome
+   trace_event JSON that Perfetto / chrome://tracing loads directly *)
+let write_trace tr path =
+  if Filename.check_suffix path ".jsonl" then Trace.write_jsonl tr path
+  else Trace.write_chrome tr path
 
 let protocol_of_string ~alpha ~laziness name =
   let agents = Placement.Linear alpha in
@@ -41,7 +48,7 @@ let laziness_of_string = function
   | other -> Error (Printf.sprintf "bad laziness %S (off|on|auto)" other)
 
 let run graph_text protocols source_override seed reps max_rounds alpha lazy_text
-    show_curve metrics_path jobs engine shards =
+    show_curve metrics_path jobs engine shards trace_path =
   let ( let* ) r f = match r with Ok v -> f v | Error m -> `Error (false, m) in
   let* spec =
     match Graph_spec.parse graph_text with Ok s -> Ok s | Error m -> Error m
@@ -73,9 +80,11 @@ let run graph_text protocols source_override seed reps max_rounds alpha lazy_tex
   let protocol_specs =
     match protocol_specs with [] -> [ Protocol.Push ] | specs -> specs
   in
-  (* describe the graph once *)
+  let trace = Option.map (fun _ -> Trace.create ()) trace_path in
+  (* describe the graph once; under --trace this probe build contributes the
+     builder phase spans (edge-gen / CSR fill / sort) *)
   let probe_rng = Rng.of_int seed in
-  let g0, default_source = Graph_spec.build probe_rng spec in
+  let g0, default_source = Graph_spec.build ?trace probe_rng spec in
   Printf.printf "graph %s: %s\n" (Graph_spec.to_string spec)
     (Format.asprintf "%a" Rumor_graph.Graph.pp g0);
   let source = Option.value source_override ~default:default_source in
@@ -113,7 +122,7 @@ let run graph_text protocols source_override seed reps max_rounds alpha lazy_tex
             end
           in
           let m =
-            Replicate.broadcast_times ?sink
+            Replicate.broadcast_times ?sink ?trace
               ~graph_name:(Graph_spec.to_string spec) ~jobs ~engine ~shards ~seed
               ~reps ~graph ~spec:p ~max_rounds ()
           in
@@ -139,17 +148,30 @@ let run graph_text protocols source_override seed reps max_rounds alpha lazy_tex
               Printf.printf "\n")
         protocol_specs
     in
+    let finish_trace () =
+      match (trace, trace_path) with
+      | Some tr, Some path -> (
+          match write_trace tr path with
+          | () ->
+              Printf.printf "wrote trace (%d events) to %s\n" (Trace.events tr)
+                path;
+              Ok ()
+          | exception Sys_error m -> Error ("cannot write trace: " ^ m))
+      | _ -> Ok ()
+    in
     match metrics_path with
-    | None ->
+    | None -> (
         run_protocols None;
-        `Ok ()
+        match finish_trace () with Ok () -> `Ok () | Error m -> `Error (false, m))
     | Some path -> (
         match
           Run_record.with_jsonl_file path (fun sink -> run_protocols (Some sink))
         with
-        | () ->
+        | () -> (
             Printf.printf "\nwrote per-replicate metrics to %s\n" path;
-            `Ok ()
+            match finish_trace () with
+            | Ok () -> `Ok ()
+            | Error m -> `Error (false, m))
         | exception Sys_error m -> `Error (false, "cannot write metrics: " ^ m))
   end
 
@@ -222,6 +244,15 @@ let shards_arg =
   in
   Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
 
+let trace_arg =
+  let doc =
+    "Record an execution trace (spans, counters, per-worker tracks) to \
+     $(docv): Chrome trace_event JSON by default (load in Perfetto or \
+     chrome://tracing), or rumor-trace/1 JSONL if $(docv) ends in .jsonl.  \
+     Inspect with rumor_report trace.  Results are unchanged by tracing."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "run rumor-spreading protocols on a graph" in
   let man =
@@ -239,6 +270,6 @@ let cmd =
       ret
         (const run $ graph_arg $ protocol_arg $ source_arg $ seed_arg $ reps_arg
        $ max_rounds_arg $ alpha_arg $ lazy_arg $ curve_arg $ metrics_arg
-       $ jobs_arg $ engine_arg $ shards_arg))
+       $ jobs_arg $ engine_arg $ shards_arg $ trace_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -1,11 +1,11 @@
 module Rng = Rumor_prob.Rng
 
-let erdos_renyi rng ~n ~p =
+let erdos_renyi ?trace rng ~n ~p =
   if n < 1 then invalid_arg "Gen_random.erdos_renyi: n < 1";
   if not (p >= 0.0 && p <= 1.0) then invalid_arg "Gen_random.erdos_renyi: bad p";
   let total = n * (n - 1) / 2 in
   let b =
-    Graph.Builder.create
+    Graph.Builder.create ?trace
       ~capacity:(if p >= 1.0 then total else 1 + int_of_float (p *. float_of_int total))
       ~n ()
   in
@@ -43,12 +43,12 @@ let erdos_renyi rng ~n ~p =
   end;
   Graph.Builder.finish b
 
-let gnm rng ~n ~m =
+let gnm ?trace rng ~n ~m =
   if n < 1 then invalid_arg "Gen_random.gnm: n < 1";
   let max_m = n * (n - 1) / 2 in
   if m < 0 || m > max_m then invalid_arg "Gen_random.gnm: m out of range";
   let seen = Hashtbl.create (2 * m) in
-  let b = Graph.Builder.create ~capacity:(max 1 m) ~n () in
+  let b = Graph.Builder.create ?trace ~capacity:(max 1 m) ~n () in
   let count = ref 0 in
   while !count < m do
     let u = Rng.int rng n and v = Rng.int rng n in
@@ -63,8 +63,8 @@ let gnm rng ~n ~m =
   done;
   Graph.Builder.finish b
 
-let complete_builder n =
-  let b = Graph.Builder.create ~capacity:(n * (n - 1) / 2) ~n () in
+let complete_builder ?trace n =
+  let b = Graph.Builder.create ?trace ~capacity:(n * (n - 1) / 2) ~n () in
   for u = 0 to n - 1 do
     for v = u + 1 to n - 1 do
       Graph.Builder.add_edge b u v
@@ -77,22 +77,22 @@ let complete_builder n =
    edge switches.  This is the standard practical generator; the output
    distribution is not exactly uniform over d-regular graphs but is
    contiguity-equivalent for the structural properties measured here. *)
-let rec random_regular rng ~n ~d =
+let rec random_regular ?trace rng ~n ~d =
   if d <= 0 || d >= n then invalid_arg "Gen_random.random_regular: need 0 < d < n";
   if n * d mod 2 <> 0 then invalid_arg "Gen_random.random_regular: n*d must be even";
   if d = n - 1 then
     (* the complete graph is the unique (n-1)-regular graph on n vertices,
        and the switch repair cannot operate there *)
-    complete_builder n
+    complete_builder ?trace n
   else if 2 * d > n then
     (* dense regime: sample the (n-1-d)-regular complement instead, where
        the pairing model is simple with decent probability *)
-    complement (random_regular rng ~n ~d:(n - 1 - d))
-  else random_regular_sparse rng ~n ~d
+    complement ?trace (random_regular ?trace rng ~n ~d:(n - 1 - d))
+  else random_regular_sparse ?trace rng ~n ~d
 
-and complement g =
+and complement ?trace g =
   let n = Graph.n g in
-  let b = Graph.Builder.create ~n () in
+  let b = Graph.Builder.create ?trace ~n () in
   for u = 0 to n - 1 do
     for v = u + 1 to n - 1 do
       if not (Graph.mem_edge g u v) then Graph.Builder.add_edge b u v
@@ -100,7 +100,7 @@ and complement g =
   done;
   Graph.Builder.finish b
 
-and random_regular_sparse rng ~n ~d =
+and random_regular_sparse ?trace rng ~n ~d =
   let attempt () =
     let stubs = Array.make (n * d) 0 in
     let pos = ref 0 in
@@ -167,7 +167,7 @@ and random_regular_sparse rng ~n ~d =
           end
     in
     if repair !bad then begin
-      let b = Graph.Builder.create ~capacity:half ~n () in
+      let b = Graph.Builder.create ?trace ~capacity:half ~n () in
       for i = 0 to half - 1 do
         Graph.Builder.add_edge b ea.(i) eb.(i)
       done;
@@ -181,7 +181,7 @@ and random_regular_sparse rng ~n ~d =
   in
   loop 0
 
-let preferential_attachment rng ~n ~m =
+let preferential_attachment ?trace rng ~n ~m =
   if m < 1 then invalid_arg "Gen_random.preferential_attachment: m < 1";
   if n <= m then invalid_arg "Gen_random.preferential_attachment: need n > m";
   (* repeated-endpoints trick: sampling a uniform element of the flat edge-
@@ -191,7 +191,7 @@ let preferential_attachment rng ~n ~m =
   let capacity = 2 * total_edges in
   let endpoints = Array.make capacity 0 in
   let endpoint_count = ref 0 in
-  let b = Graph.Builder.create ~capacity:total_edges ~n () in
+  let b = Graph.Builder.create ?trace ~capacity:total_edges ~n () in
   let add_edge u v =
     Graph.Builder.add_edge b u v;
     endpoints.(!endpoint_count) <- u;
@@ -215,12 +215,12 @@ let preferential_attachment rng ~n ~m =
   done;
   Graph.Builder.finish b
 
-let random_regular_connected rng ~n ~d =
+let random_regular_connected ?trace rng ~n ~d =
   let rec loop tries =
     if tries > 100 then
       failwith "Gen_random.random_regular_connected: no connected sample in 100 tries"
     else
-      let g = random_regular rng ~n ~d in
+      let g = random_regular ?trace rng ~n ~d in
       if Algo.is_connected g then g else loop (tries + 1)
   in
   loop 0

@@ -3,28 +3,36 @@
     Random d-regular graphs with [d = Theta(log n)] are the primary testbed
     for the regular-graph theorems (Theorems 1, 23–25): they satisfy the
     degree hypothesis and have logarithmic broadcast time for all four
-    protocols, so constant-factor relationships are visible directly. *)
+    protocols, so constant-factor relationships are visible directly.
 
-val erdos_renyi : Rumor_prob.Rng.t -> n:int -> p:float -> Graph.t
+    Every generator accepts [?trace] and forwards it to
+    {!Graph.Builder.create}, so a traced build shows its edge-generation,
+    CSR-fill and sort phases as spans. *)
+
+val erdos_renyi :
+  ?trace:Rumor_obs.Trace.t -> Rumor_prob.Rng.t -> n:int -> p:float -> Graph.t
 (** [erdos_renyi rng ~n ~p] samples G(n, p) using geometric edge skipping,
     O(n + m) expected time.  The result may be disconnected. *)
 
-val gnm : Rumor_prob.Rng.t -> n:int -> m:int -> Graph.t
+val gnm : ?trace:Rumor_obs.Trace.t -> Rumor_prob.Rng.t -> n:int -> m:int -> Graph.t
 (** [gnm rng ~n ~m] samples a uniform simple graph with exactly [m] edges
     (rejection on duplicates; requires [m] at most n(n-1)/2). *)
 
-val random_regular : Rumor_prob.Rng.t -> n:int -> d:int -> Graph.t
+val random_regular :
+  ?trace:Rumor_obs.Trace.t -> Rumor_prob.Rng.t -> n:int -> d:int -> Graph.t
 (** [random_regular rng ~n ~d] samples a d-regular simple graph by the
     configuration (pairing) model, rejecting pairings with loops or multiple
     edges and retrying.  Requires [n*d] even, [0 < d < n].  Expected number
     of retries is exp(d^2/4)-ish, fine for [d <= ~2 sqrt(log n) * ...]; in
     practice instant for the d = O(log n) range used here. *)
 
-val random_regular_connected : Rumor_prob.Rng.t -> n:int -> d:int -> Graph.t
+val random_regular_connected :
+  ?trace:Rumor_obs.Trace.t -> Rumor_prob.Rng.t -> n:int -> d:int -> Graph.t
 (** Like {!random_regular} but additionally resamples until the graph is
     connected (a.a.s. immediate for [d >= 3]). *)
 
-val preferential_attachment : Rumor_prob.Rng.t -> n:int -> m:int -> Graph.t
+val preferential_attachment :
+  ?trace:Rumor_obs.Trace.t -> Rumor_prob.Rng.t -> n:int -> m:int -> Graph.t
 (** [preferential_attachment rng ~n ~m] grows a Barabási–Albert graph: it
     starts from a clique on [m + 1] vertices and attaches each new vertex
     to [m] distinct existing vertices chosen with probability proportional

@@ -152,20 +152,35 @@ module Builder = struct
      exactly one materialization of its edges. *)
   type buf = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
 
+  module Trace = Rumor_obs.Trace
+
   type t = {
     bn : int;
     mutable us : buf;
     mutable vs : buf;
     mutable len : int;
     mutable finished : bool;
+    btrace : Trace.t option;
   }
 
   let make_buf capacity = Bigarray.Array1.create Bigarray.Int Bigarray.C_layout capacity
 
-  let create ?(capacity = 1024) ~n () =
+  let create ?trace ?(capacity = 1024) ~n () =
     if n < 0 then invalid_arg "Graph.Builder.create: negative vertex count";
     let capacity = max 1 capacity in
-    { bn = n; us = make_buf capacity; vs = make_buf capacity; len = 0; finished = false }
+    (* the edge-generation span stays open from [create] to [finish]: it
+       covers whatever loop the caller feeds [add_edge] from *)
+    (match trace with
+    | None -> ()
+    | Some tr -> Trace.begin_span tr "graph.edge_gen");
+    {
+      bn = n;
+      us = make_buf capacity;
+      vs = make_buf capacity;
+      len = 0;
+      finished = false;
+      btrace = trace;
+    }
 
   let vertex_count b = b.bn
   let edge_count b = b.len
@@ -194,6 +209,14 @@ module Builder = struct
   let finish b =
     if b.finished then invalid_arg "Graph.Builder.finish: builder already finished";
     b.finished <- true;
+    (match b.btrace with
+    | None -> ()
+    | Some tr ->
+        Trace.end_span tr (* graph.edge_gen *);
+        Rumor_obs.Counters.add
+          (Rumor_obs.Counters.counter (Trace.counters tr) "edges_built")
+          b.len;
+        Trace.begin_span tr "graph.csr_fill");
     let nv = b.bn and m = b.len in
     let deg = Array.make nv 0 in
     for i = 0 to m - 1 do
@@ -217,7 +240,13 @@ module Builder = struct
        CSR + endpoints, never CSR + endpoints + a second edge list *)
     b.us <- make_buf 1;
     b.vs <- make_buf 1;
+    (match b.btrace with
+    | None -> ()
+    | Some tr ->
+        Trace.end_span tr (* graph.csr_fill *);
+        Trace.begin_span tr "graph.sort");
     sort_and_check_slices ~who:"Graph.Builder.finish" ~n:nv offsets adj;
+    (match b.btrace with None -> () | Some tr -> Trace.end_span tr);
     { n = nv; m; offsets; adj }
 end
 

@@ -30,10 +30,13 @@ module Builder : sig
   type graph := t
   type t
 
-  val create : ?capacity:int -> n:int -> unit -> t
+  val create : ?trace:Rumor_obs.Trace.t -> ?capacity:int -> n:int -> unit -> t
   (** [create ~n ()] starts a builder for a graph on [n] vertices.
       [capacity] pre-sizes the edge buffers (default 1024; they grow as
-      needed, so it is only a hint).
+      needed, so it is only a hint).  [trace] records the build phases as
+      spans: ["graph.edge_gen"] from [create] to {!finish} (covering the
+      caller's generation loop), then ["graph.csr_fill"] and ["graph.sort"]
+      inside {!finish}, plus an ["edges_built"] scalar counter.
       @raise Invalid_argument if [n < 0]. *)
 
   val add_edge : t -> int -> int -> unit

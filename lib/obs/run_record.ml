@@ -17,6 +17,8 @@ type t = {
   informed_curve : int array;
   wall_seconds : float;
   gc : gc_counters;
+  engine : bool;
+  shards : int;
 }
 
 type sink = t -> unit
@@ -27,9 +29,9 @@ let gc_now () =
 
 let timed f =
   let g0 = gc_now () in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now_s () in
   let result = f () in
-  let wall = Unix.gettimeofday () -. t0 in
+  let wall = Clock.elapsed_s ~since:t0 in
   let g1 = gc_now () in
   ( result,
     wall,
@@ -81,7 +83,11 @@ let to_json t =
   buf_add_float buf t.gc.major_words;
   Buffer.add_string buf ",\"promoted_words\":";
   buf_add_float buf t.gc.promoted_words;
-  Buffer.add_string buf "}}";
+  Buffer.add_string buf "},\"engine\":";
+  Buffer.add_string buf (if t.engine then "true" else "false");
+  Buffer.add_string buf ",\"shards\":";
+  Buffer.add_string buf (string_of_int t.shards);
+  Buffer.add_char buf '}';
   Buffer.contents buf
 
 let output oc t =
@@ -147,6 +153,18 @@ let of_json line =
       let* minor_words = field ~where:gc_obj "minor_words" Json.to_float in
       let* major_words = field ~where:gc_obj "major_words" Json.to_float in
       let* promoted_words = field ~where:gc_obj "promoted_words" Json.to_float in
+      (* schema evolution: records written before the engine fields existed
+         read back as legacy-path runs *)
+      let optional name conv ~default =
+        match Json.member name j with
+        | None -> Ok default
+        | Some v -> (
+            match conv v with
+            | Some x -> Ok x
+            | None -> Error (Printf.sprintf "field %S has the wrong type" name))
+      in
+      let* engine = optional "engine" Json.to_bool ~default:false in
+      let* shards = optional "shards" Json.to_int ~default:1 in
       Ok
         {
           seed;
@@ -161,6 +179,8 @@ let of_json line =
           informed_curve;
           wall_seconds;
           gc = { minor_words; major_words; promoted_words };
+          engine;
+          shards;
         }
 
 exception Jsonl_error of { path : string; line : int; msg : string }

@@ -23,8 +23,14 @@
       "wall_seconds": float,
       "gc": { "minor_words": float,
               "major_words": float,
-              "promoted_words": float } }
-    v} *)
+              "promoted_words": float },
+      "engine": bool,         // flat-frontier engine kernels? (absent = false)
+      "shards": int }         // engine randomness shards (absent = 1)
+    v}
+
+    The [engine]/[shards] fields were added after the first release; the
+    reader accepts records without them ([false]/[1]), so old metrics files
+    keep loading. *)
 
 (** Allocation counters, as deltas over one run (in words, the unit
     [Gc.minor_words] et al. report). *)
@@ -47,6 +53,8 @@ type t = {
   informed_curve : int array;
   wall_seconds : float;
   gc : gc_counters;
+  engine : bool;  (** run through the {!Rumor_protocols.Engine} kernels *)
+  shards : int;  (** engine randomness shards (1 on the legacy path) *)
 }
 
 type sink = t -> unit

@@ -17,8 +17,8 @@ let shard_bounds ~n ~shards =
       let len = base + if s < extra then 1 else 0 in
       (lo, lo + len))
 
-let parallel_for pool ~n ~shards f =
+let parallel_for ?trace ?(label = "shard") pool ~n ~shards f =
   let bounds = shard_bounds ~n ~shards in
-  Pool.init pool shards (fun s ->
+  Pool.init_traced ?trace ~label pool shards (fun ~trace:_ s ->
       let lo, hi = bounds.(s) in
       f ~shard:s ~lo ~hi)

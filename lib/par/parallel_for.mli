@@ -19,7 +19,12 @@ val shard_bounds : n:int -> shards:int -> (int * int) array
     @raise Invalid_argument if [n < 0] or [shards < 1]. *)
 
 val parallel_for :
+  ?trace:Rumor_obs.Trace.t ->
+  ?label:string ->
   Pool.t -> n:int -> shards:int -> (shard:int -> lo:int -> hi:int -> 'a) -> 'a array
 (** Run one closure per shard on the pool; result [i] is shard [i]'s.
     A raise in any shard is re-raised after all shards join
-    (first-failure-wins, as {!Pool.init}). *)
+    (first-failure-wins, as {!Pool.init}).  [trace] records each shard as a
+    span named [label] (default ["shard"]) with the shard index as its
+    [arg], on the track of the worker that ran it — see
+    {!Pool.init_traced}; [None] adds zero overhead. *)

@@ -27,6 +27,25 @@ val create : jobs:int -> t
 val jobs : t -> int
 (** The resolved parallelism degree (after the [0] default expansion). *)
 
+val init_traced :
+  ?trace:Rumor_obs.Trace.t ->
+  ?label:string ->
+  t ->
+  int ->
+  (trace:Rumor_obs.Trace.t option -> int -> 'a) -> 'a array
+(** {!init} with per-worker tracing.  When [trace] is present, every worker
+    runs under its own tracer — the calling domain records straight into
+    [trace], each spawned domain into a {!Rumor_obs.Trace.fork}ed child that
+    is merged back after the domain joins — and [f] receives the tracer of
+    whichever worker runs it, so item computations can open their own spans
+    on the right track.  Each claimed chunk is bracketed in a span named
+    [label] (default ["pool.chunk"]) whose [arg] is the chunk's first index,
+    each worker's lifetime in a ["pool.worker"] span, and the fork/join
+    edges are marked with instants on the parent — which is what makes idle
+    gaps between chunks visible in the rendered trace.  When [trace] is
+    [None] (the default), [f] sees [~trace:None] and the call compiles down
+    to exactly {!init}: no clocks, no allocation. *)
+
 val init : t -> int -> (int -> 'a) -> 'a array
 (** [init t n f] is [Array.init n f] computed by [jobs t] workers.  [f] is
     called exactly once per index on some worker domain, in no particular

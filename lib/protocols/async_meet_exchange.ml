@@ -4,6 +4,10 @@ module Graph = Rumor_graph.Graph
 module Placement = Rumor_agents.Placement
 module Event_queue = Rumor_des.Event_queue
 module Obs = Rumor_obs.Instrument
+module Trace = Rumor_obs.Trace
+
+(* same sparse sampling cadence as Async_push's DES loop *)
+let trace_sample_mask = 1023
 
 type result = {
   broadcast_time : float option;
@@ -12,7 +16,7 @@ type result = {
   agents : int;
 }
 
-let run ?obs ?lazy_walk rng g ~source ~agents ~max_time =
+let run ?obs ?trace ?lazy_walk rng g ~source ~agents ~max_time =
   let n = Graph.n g in
   if source < 0 || source >= n then
     invalid_arg "Async_meet_exchange.run: source out of range";
@@ -64,6 +68,9 @@ let run ?obs ?lazy_walk rng g ~source ~agents ~max_time =
   let rings = ref 0 in
   let finish = ref None in
   let running = ref (!informed_count < k) in
+  (match trace with
+  | None -> ()
+  | Some tr -> Trace.begin_span tr "async_meet_exchange.loop");
   while !running do
     match Event_queue.pop queue with
     | None -> running := false
@@ -71,6 +78,13 @@ let run ?obs ?lazy_walk rng g ~source ~agents ~max_time =
         if now > max_time then running := false
         else begin
           incr rings;
+          (match trace with
+          | None -> ()
+          | Some tr ->
+              if !rings land trace_sample_mask = 0 then begin
+                Trace.counter tr "queue" (Event_queue.size queue);
+                Trace.counter tr "informed" !informed_count
+              end);
           let u = pos.(a) in
           let v =
             if lazy_walk && Rng.bool rng then u else Graph.random_neighbor g rng u
@@ -89,5 +103,13 @@ let run ?obs ?lazy_walk rng g ~source ~agents ~max_time =
           else schedule a now
         end
   done;
+  (match trace with
+  | None -> ()
+  | Some tr ->
+      Trace.end_span tr;
+      Trace.counter tr "informed" !informed_count;
+      Rumor_obs.Counters.add
+        (Rumor_obs.Counters.counter (Trace.counters tr) "rings")
+        !rings);
   let finish = if !informed_count = k && !finish = None then Some 0.0 else !finish in
   { broadcast_time = finish; rings = !rings; informed = !informed_count; agents = k }

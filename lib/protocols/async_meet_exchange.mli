@@ -24,6 +24,7 @@ type result = {
 
 val run :
   ?obs:Rumor_obs.Instrument.t ->
+  ?trace:Rumor_obs.Trace.t ->
   ?lazy_walk:bool ->
   Rumor_prob.Rng.t ->
   Rumor_graph.Graph.t ->

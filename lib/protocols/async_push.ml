@@ -2,6 +2,21 @@ module Dist = Rumor_prob.Dist
 module Graph = Rumor_graph.Graph
 module Event_queue = Rumor_des.Event_queue
 module Obs = Rumor_obs.Instrument
+module Trace = Rumor_obs.Trace
+
+(* Sampling the queue/informed series every event would swamp the trace —
+   the DES loops sample every 2^10 rings (a power of two so the test mask
+   is exact), plus once at loop exit. *)
+let trace_sample_mask = 1023
+
+let[@inline] des_sample trace ~rings ~queue_size ~informed =
+  match trace with
+  | None -> ()
+  | Some tr ->
+      if rings land trace_sample_mask = 0 then begin
+        Trace.counter tr "queue" queue_size;
+        Trace.counter tr "informed" informed
+      end
 
 type variant = Async_push | Async_push_pull
 
@@ -11,7 +26,7 @@ type result = {
   informed : int;
 }
 
-let run ?obs rng g ~variant ~source ~max_time =
+let run ?obs ?trace rng g ~variant ~source ~max_time =
   let n = Graph.n g in
   if source < 0 || source >= n then invalid_arg "Async_push.run: source out of range";
   if not (max_time > 0.0) then invalid_arg "Async_push.run: max_time must be positive";
@@ -30,6 +45,9 @@ let run ?obs rng g ~variant ~source ~max_time =
   let rings = ref 0 in
   let finish_time = ref None in
   let running = ref true in
+  (match trace with
+  | None -> ()
+  | Some tr -> Trace.begin_span tr "async_push.loop");
   while !running do
     match Event_queue.pop queue with
     | None -> running := false
@@ -37,6 +55,8 @@ let run ?obs rng g ~variant ~source ~max_time =
         if now > max_time then running := false
         else begin
           incr rings;
+          des_sample trace ~rings:!rings ~queue_size:(Event_queue.size queue)
+            ~informed:!informed_count;
           let v = Graph.random_neighbor g rng u in
           Obs.contact obs u v;
           (match variant with
@@ -62,4 +82,12 @@ let run ?obs rng g ~variant ~source ~max_time =
           else schedule u now
         end
   done;
+  (match trace with
+  | None -> ()
+  | Some tr ->
+      Trace.end_span tr;
+      Trace.counter tr "informed" !informed_count;
+      Rumor_obs.Counters.add
+        (Rumor_obs.Counters.counter (Trace.counters tr) "rings")
+        !rings);
   { broadcast_time = !finish_time; rings = !rings; informed = !informed_count }

@@ -27,6 +27,7 @@ type result = {
 
 val run :
   ?obs:Rumor_obs.Instrument.t ->
+  ?trace:Rumor_obs.Trace.t ->
   Rumor_prob.Rng.t ->
   Rumor_graph.Graph.t ->
   variant:variant ->
@@ -36,4 +37,7 @@ val run :
 (** [run rng g ~variant ~source ~max_time] simulates until all vertices are
     informed or continuous time exceeds [max_time].  The model has no
     rounds, so [obs] only receives [on_contact] (one per clock ring).
+    [trace] wraps the event loop in an ["async_push.loop"] span, samples
+    the ["queue"]/["informed"] counter series every 1024 rings, and adds
+    the ring total to the registry; it never consumes randomness.
     @raise Invalid_argument on a bad source or non-positive [max_time]. *)

@@ -1,6 +1,8 @@
 module Rng = Rumor_prob.Rng
 module Graph = Rumor_graph.Graph
 module Obs = Rumor_obs.Instrument
+module Trace = Rumor_obs.Trace
+module Counters = Rumor_obs.Counters
 module Placement = Rumor_agents.Placement
 module Pool = Rumor_par.Pool
 module Par = Rumor_par.Parallel_for
@@ -30,6 +32,39 @@ module Par = Rumor_par.Parallel_for
 
 let get_pool = function Some p -> p | None -> Pool.create ~jobs:1
 
+(* Tracing shims.  Hot round loops go through these instead of
+   [Trace.with_span] so that a disabled run ([trace = None]) stays
+   allocation-free: each shim is a bare option match, and the [~arg:...]
+   [Some] cell for span payloads is only built inside the [Some] branch.
+   The disabled path is pinned by an allocation test in test/test_engine.ml. *)
+
+let[@inline] span_begin trace name =
+  match trace with None -> () | Some tr -> Trace.begin_span tr name
+
+let[@inline] span_begin_arg trace name arg =
+  match trace with None -> () | Some tr -> Trace.begin_span tr ~arg name
+
+let[@inline] span_end trace =
+  match trace with None -> () | Some tr -> Trace.end_span tr
+
+let contact_buckets =
+  [| 1.; 10.; 100.; 1_000.; 10_000.; 100_000.; 1_000_000. |]
+
+(* Closes the round span, samples the informed-count series, and bumps the
+   scalar registry (rounds, contacts, contacts-per-round histogram). *)
+let[@inline] trace_round_end trace ~informed ~contacts_delta =
+  match trace with
+  | None -> ()
+  | Some tr ->
+      Trace.end_span tr;
+      Trace.counter tr "informed" informed;
+      let cs = Trace.counters tr in
+      Counters.incr (Counters.counter cs "rounds");
+      Counters.add (Counters.counter cs "contacts") contacts_delta;
+      Counters.observe
+        (Counters.histogram cs "contacts_per_round" ~buckets:contact_buckets)
+        (float_of_int contacts_delta)
+
 let check_common ~who ~n ~source ~max_rounds ~shards =
   if source < 0 || source >= n then invalid_arg (who ^ ": source out of range");
   if max_rounds < 0 then invalid_arg (who ^ ": negative round cap");
@@ -37,8 +72,8 @@ let check_common ~who ~n ~source ~max_rounds ~shards =
 
 (* ------------------------------------------------------------------ push *)
 
-let push ?traffic ?obs ?(failure_prob = 0.0) ?tau ?(shards = 1) ?pool rng g
-    ~source ~max_rounds () =
+let push ?traffic ?obs ?trace ?(failure_prob = 0.0) ?tau ?(shards = 1) ?pool
+    rng g ~source ~max_rounds () =
   let n = Graph.n g in
   check_common ~who:"Engine.push" ~n ~source ~max_rounds ~shards;
   if not (failure_prob >= 0.0 && failure_prob < 1.0) then
@@ -77,6 +112,8 @@ let push ?traffic ?obs ?(failure_prob = 0.0) ?tau ?(shards = 1) ?pool rng g
     while !count < n && !t < max_rounds do
       incr t;
       Obs.round_start obs !t;
+      span_begin_arg trace "push.round" !t;
+      let c0 = !contacts in
       let active = !count in
       for i = 0 to active - 1 do
         let u = order.(i) in
@@ -85,6 +122,7 @@ let push ?traffic ?obs ?(failure_prob = 0.0) ?tau ?(shards = 1) ?pool rng g
         deliver ~round:!t u v delivered
       done;
       Curve_buf.push curve !count;
+      trace_round_end trace ~informed:!count ~contacts_delta:(!contacts - c0);
       Obs.round_end obs ~round:!t ~informed:!count ~contacts:!contacts
     done
   else begin
@@ -94,13 +132,16 @@ let push ?traffic ?obs ?(failure_prob = 0.0) ?tau ?(shards = 1) ?pool rng g
     while !count < n && !t < max_rounds do
       incr t;
       Obs.round_start obs !t;
+      span_begin_arg trace "push.round" !t;
+      let c0 = !contacts in
       let active = !count in
       let rngs = Rng.split_n rng shards in
       (* shards read only the frozen active prefix of [order] and write
          disjoint slots of [picks]/[failed]; all shared-state updates wait
          for the sequential merge below *)
       let (_ : unit array) =
-        Par.parallel_for pool ~n:active ~shards (fun ~shard ~lo ~hi ->
+        Par.parallel_for ?trace ~label:"push.draw" pool ~n:active ~shards
+          (fun ~shard ~lo ~hi ->
             let r = rngs.(shard) in
             for i = lo to hi - 1 do
               picks.(i) <- Graph.random_neighbor g r order.(i);
@@ -108,11 +149,14 @@ let push ?traffic ?obs ?(failure_prob = 0.0) ?tau ?(shards = 1) ?pool rng g
                 Bytes.set failed i (if Rng.bernoulli r failure_prob then '\001' else '\000')
             done)
       in
+      span_begin trace "push.merge";
       for i = 0 to active - 1 do
         let delivered = (not want_failures) || Char.code (Bytes.get failed i) = 0 in
         deliver ~round:!t order.(i) picks.(i) delivered
       done;
+      span_end trace;
       Curve_buf.push curve !count;
+      trace_round_end trace ~informed:!count ~contacts_delta:(!contacts - c0);
       Obs.round_end obs ~round:!t ~informed:!count ~contacts:!contacts
     done
   end;
@@ -124,7 +168,8 @@ let push ?traffic ?obs ?(failure_prob = 0.0) ?tau ?(shards = 1) ?pool rng g
 
 (* ------------------------------------------------------------- push-pull *)
 
-let push_pull ?traffic ?obs ?(shards = 1) ?pool rng g ~source ~max_rounds () =
+let push_pull ?traffic ?obs ?trace ?(shards = 1) ?pool rng g ~source
+    ~max_rounds () =
   let n = Graph.n g in
   check_common ~who:"Engine.push_pull" ~n ~source ~max_rounds ~shards;
   (* [before] is the informed set at the top of the round (the snapshot the
@@ -156,11 +201,14 @@ let push_pull ?traffic ?obs ?(shards = 1) ?pool rng g ~source ~max_rounds () =
       incr t;
       let round = !t in
       Obs.round_start obs round;
+      span_begin_arg trace "push_pull.round" round;
+      let c0 = !contacts in
       Bitset.snapshot ~src:informed ~dst:before;
       for u = 0 to n - 1 do
         exchange u (Graph.random_neighbor g rng u)
       done;
       Curve_buf.push curve !count;
+      trace_round_end trace ~informed:!count ~contacts_delta:(!contacts - c0);
       Obs.round_end obs ~round ~informed:!count ~contacts:!contacts
     done
   else begin
@@ -170,19 +218,25 @@ let push_pull ?traffic ?obs ?(shards = 1) ?pool rng g ~source ~max_rounds () =
       incr t;
       let round = !t in
       Obs.round_start obs round;
+      span_begin_arg trace "push_pull.round" round;
+      let c0 = !contacts in
       let rngs = Rng.split_n rng shards in
       let (_ : unit array) =
-        Par.parallel_for pool ~n ~shards (fun ~shard ~lo ~hi ->
+        Par.parallel_for ?trace ~label:"push_pull.draw" pool ~n ~shards
+          (fun ~shard ~lo ~hi ->
             let r = rngs.(shard) in
             for u = lo to hi - 1 do
               picks.(u) <- Graph.random_neighbor g r u
             done)
       in
+      span_begin trace "push_pull.merge";
       Bitset.snapshot ~src:informed ~dst:before;
       for u = 0 to n - 1 do
         exchange u picks.(u)
       done;
+      span_end trace;
       Curve_buf.push curve !count;
+      trace_round_end trace ~informed:!count ~contacts_delta:(!contacts - c0);
       Obs.round_end obs ~round ~informed:!count ~contacts:!contacts
     done
   end;
@@ -221,11 +275,13 @@ let move_agents_seq ?traffic ?obs ~lazy_walk rng g pos =
 
 (* Sharded variant: destinations are drawn into [moves] with one split child
    per shard, then applied (and reported) sequentially in agent order. *)
-let move_agents_sharded ?traffic ?obs ~lazy_walk ~shards pool rng g pos moves =
+let move_agents_sharded ?traffic ?obs ?trace ~lazy_walk ~shards pool rng g pos
+    moves =
   let k = Array.length pos in
   let rngs = Rng.split_n rng shards in
   let (_ : unit array) =
-    Par.parallel_for pool ~n:k ~shards (fun ~shard ~lo ~hi ->
+    Par.parallel_for ?trace ~label:"walk.draw" pool ~n:k ~shards
+      (fun ~shard ~lo ~hi ->
         let r = rngs.(shard) in
         for a = lo to hi - 1 do
           let u = pos.(a) in
@@ -233,6 +289,7 @@ let move_agents_sharded ?traffic ?obs ~lazy_walk ~shards pool rng g pos moves =
             (if lazy_walk && Rng.bool r then u else Graph.random_neighbor g r u)
         done)
   in
+  span_begin trace "walk.apply";
   for a = 0 to k - 1 do
     let u = pos.(a) and v = moves.(a) in
     pos.(a) <- v;
@@ -240,12 +297,13 @@ let move_agents_sharded ?traffic ?obs ~lazy_walk ~shards pool rng g pos moves =
     | Some tr when v <> u -> Traffic.record tr u v
     | _ -> ());
     Obs.walker_move obs ~agent:a ~from_:u ~to_:v
-  done
+  done;
+  span_end trace
 
 (* -------------------------------------------------------- visit-exchange *)
 
-let visit_exchange ?traffic ?obs ?(lazy_walk = false) ?(shards = 1) ?pool rng g
-    ~source ~agents ~max_rounds () =
+let visit_exchange ?traffic ?obs ?trace ?(lazy_walk = false) ?(shards = 1)
+    ?pool rng g ~source ~agents ~max_rounds () =
   let n = Graph.n g in
   check_common ~who:"Engine.visit_exchange" ~n ~source ~max_rounds ~shards;
   let pos = place_agents ~who:"Engine.visit_exchange" rng g agents in
@@ -278,11 +336,18 @@ let visit_exchange ?traffic ?obs ?(lazy_walk = false) ?(shards = 1) ?pool rng g
     incr t;
     let round = !t in
     Obs.round_start obs round;
+    span_begin_arg trace "visit_exchange.round" round;
+    let c0 = !contacts in
     (* phase 1: all agents step in parallel *)
     (match pool with
-    | None -> move_agents_seq ?traffic ?obs ~lazy_walk rng g pos
+    | None ->
+        span_begin trace "walk";
+        move_agents_seq ?traffic ?obs ~lazy_walk rng g pos;
+        span_end trace
     | Some pool ->
-        move_agents_sharded ?traffic ?obs ~lazy_walk ~shards pool rng g pos moves);
+        move_agents_sharded ?traffic ?obs ?trace ~lazy_walk ~shards pool rng g
+          pos moves);
+    span_begin trace "spread";
     (* phase 2: agents informed in a previous round inform their vertex *)
     Bitset.snapshot ~src:agent_informed ~dst:agent_before;
     for a = 0 to k - 1 do
@@ -308,9 +373,12 @@ let visit_exchange ?traffic ?obs ?(lazy_walk = false) ?(shards = 1) ?pool rng g
         Obs.contact obs pos.(a) a
       end
     done;
+    span_end trace;
     if !informed_agents = k && !all_agents_round = None then
       all_agents_round := Some round;
     Curve_buf.push curve !informed_vertices;
+    trace_round_end trace ~informed:!informed_vertices
+      ~contacts_delta:(!contacts - c0);
     Obs.round_end obs ~round ~informed:!informed_vertices ~contacts:!contacts
   done;
   let rounds_run = !t in
@@ -324,8 +392,8 @@ let visit_exchange ?traffic ?obs ?(lazy_walk = false) ?(shards = 1) ?pool rng g
 
 (* --------------------------------------------------------- meet-exchange *)
 
-let meet_exchange ?traffic ?obs ?lazy_walk ?(shards = 1) ?pool rng g ~source
-    ~agents ~max_rounds () =
+let meet_exchange ?traffic ?obs ?trace ?lazy_walk ?(shards = 1) ?pool rng g
+    ~source ~agents ~max_rounds () =
   let n = Graph.n g in
   check_common ~who:"Engine.meet_exchange" ~n ~source ~max_rounds ~shards;
   (* same unsafe-default fix as Meet_exchange: an omitted [lazy_walk]
@@ -378,11 +446,20 @@ let meet_exchange ?traffic ?obs ?lazy_walk ?(shards = 1) ?pool rng g ~source
     incr t;
     let round = !t in
     Obs.round_start obs round;
+    span_begin_arg trace "meet_exchange.round" round;
+    let c0 = !contacts in
     (match pool with
-    | None -> move_agents_seq ?traffic ?obs ~lazy_walk rng g pos
+    | None ->
+        span_begin trace "walk";
+        move_agents_seq ?traffic ?obs ~lazy_walk rng g pos;
+        span_end trace
     | Some pool ->
-        move_agents_sharded ?traffic ?obs ~lazy_walk ~shards pool rng g pos moves);
+        move_agents_sharded ?traffic ?obs ?trace ~lazy_walk ~shards pool rng g
+          pos moves);
+    span_begin trace "buckets";
     refresh_buckets ();
+    span_end trace;
+    span_begin trace "spread";
     (* the witness test below is "informed in a previous round": snapshot
        before this round's source hand-off so its pickups don't qualify *)
     Bitset.snapshot ~src:agent_informed ~dst:agent_before;
@@ -420,7 +497,9 @@ let meet_exchange ?traffic ?obs ?lazy_walk ?(shards = 1) ?pool rng g ~source
           done
       end
     done;
+    span_end trace;
     Curve_buf.push curve !informed;
+    trace_round_end trace ~informed:!informed ~contacts_delta:(!contacts - c0);
     Obs.round_end obs ~round ~informed:!informed ~contacts:!contacts
   done;
   let rounds_run = !t in

@@ -20,6 +20,18 @@
       result is a pure function of (seed, S): the [?pool]'s parallelism
       degree schedules work but can never change a bit of the output.
 
+    {2 Tracing}
+
+    [?trace] records one span per round (["<kernel>.round"], [arg] = round
+    number) with draw/merge (or walk/buckets/spread) child spans, per-shard
+    spans on the worker tracks ({!Rumor_par.Pool.init_traced}), an
+    ["informed"] counter series sampled at round boundaries, and scalar
+    [rounds]/[contacts] counters plus a contacts-per-round histogram in the
+    tracer's registry.  Tracing never consumes randomness, so traced and
+    untraced runs on the same seed produce bit-identical {!Run_result}s;
+    with [?trace] absent the kernels execute the untraced instruction
+    stream — no clock reads, no allocation (pinned by an allocation test).
+
     All kernels raise [Invalid_argument] on an out-of-range [source], a
     negative [max_rounds], or [shards < 1].  [?pool] defaults to a
     sequential one-job pool and is only consulted when [shards > 1]. *)
@@ -27,6 +39,7 @@
 val push :
   ?traffic:Traffic.t ->
   ?obs:Rumor_obs.Instrument.t ->
+  ?trace:Rumor_obs.Trace.t ->
   ?failure_prob:float ->
   ?tau:int array ->
   ?shards:int ->
@@ -46,6 +59,7 @@ val push :
 val push_pull :
   ?traffic:Traffic.t ->
   ?obs:Rumor_obs.Instrument.t ->
+  ?trace:Rumor_obs.Trace.t ->
   ?shards:int ->
   ?pool:Rumor_par.Pool.t ->
   Rumor_prob.Rng.t ->
@@ -59,6 +73,7 @@ val push_pull :
 val visit_exchange :
   ?traffic:Traffic.t ->
   ?obs:Rumor_obs.Instrument.t ->
+  ?trace:Rumor_obs.Trace.t ->
   ?lazy_walk:bool ->
   ?shards:int ->
   ?pool:Rumor_par.Pool.t ->
@@ -75,6 +90,7 @@ val visit_exchange :
 val meet_exchange :
   ?traffic:Traffic.t ->
   ?obs:Rumor_obs.Instrument.t ->
+  ?trace:Rumor_obs.Trace.t ->
   ?lazy_walk:bool ->
   ?shards:int ->
   ?pool:Rumor_par.Pool.t ->

@@ -57,9 +57,19 @@ let with_engine engine f =
   current_engine := engine;
   Fun.protect ~finally:(fun () -> current_engine := saved) f
 
+(* And for the tracer: every measured cell's replications record into the
+   one suite-wide tracer (spans never change results, see Replicate). *)
+let current_trace : Rumor_obs.Trace.t option ref = ref None
+
+let with_trace trace f =
+  let saved = !current_trace in
+  current_trace := Some trace;
+  Fun.protect ~finally:(fun () -> current_trace := saved) f
+
 let measure_cell ~seed ~reps ~graph ~spec ~max_rounds =
   Replicate.broadcast_times ?sink:!metrics_sink ~jobs:!current_jobs
-    ~engine:!current_engine ~seed ~reps ~graph ~spec ~max_rounds ()
+    ?trace:!current_trace ~engine:!current_engine ~seed ~reps ~graph ~spec
+    ~max_rounds ()
 
 let time_cell (m : Replicate.measurement) =
   let s = m.summary in
@@ -1701,7 +1711,7 @@ let find id =
   let id = String.uppercase_ascii id in
   List.find_opt (fun e -> String.uppercase_ascii e.id = id) all
 
-let run_all ?ids ?metrics ?(jobs = 1) ?(engine = false) profile ~seed =
+let run_all ?ids ?metrics ?trace ?(jobs = 1) ?(engine = false) profile ~seed =
   let selected =
     match ids with
     | None -> all
@@ -1714,14 +1724,22 @@ let run_all ?ids ?metrics ?(jobs = 1) ?(engine = false) profile ~seed =
           wanted
   in
   let run_one e =
-    match metrics with
-    | None -> e.run profile ~seed
-    | Some sink ->
-        (* label each record with the experiment id, which is more useful
-           downstream than the anonymous per-cell graph closures *)
-        with_metrics_sink
-          (fun r -> sink { r with Rumor_obs.Run_record.graph = e.id })
-          (fun () -> e.run profile ~seed)
+    let go () =
+      match metrics with
+      | None -> e.run profile ~seed
+      | Some sink ->
+          (* label each record with the experiment id, which is more useful
+             downstream than the anonymous per-cell graph closures *)
+          with_metrics_sink
+            (fun r -> sink { r with Rumor_obs.Run_record.graph = e.id })
+            (fun () -> e.run profile ~seed)
+    in
+    (* one span per experiment, so the trace timeline reads as E1, E2, ... *)
+    Rumor_obs.Trace.with_span trace e.id go
   in
-  with_engine engine (fun () ->
-      with_jobs jobs (fun () -> List.map (fun e -> (e, run_one e)) selected))
+  let with_opt_trace f =
+    match trace with None -> f () | Some tr -> with_trace tr f
+  in
+  with_opt_trace (fun () ->
+      with_engine engine (fun () ->
+          with_jobs jobs (fun () -> List.map (fun e -> (e, run_one e)) selected)))

@@ -36,6 +36,7 @@ val find : string -> t option
 val run_all :
   ?ids:string list ->
   ?metrics:Rumor_obs.Run_record.sink ->
+  ?trace:Rumor_obs.Trace.t ->
   ?jobs:int ->
   ?engine:bool ->
   profile ->
@@ -55,7 +56,11 @@ val run_all :
 
     [engine] (default [false]) routes every measured cell through the
     flat-frontier kernels ({!Replicate.broadcast_times}'s [~engine]); cells
-    are bit-identical either way, so the flag only changes wall-clock. *)
+    are bit-identical either way, so the flag only changes wall-clock.
+
+    [trace] records every experiment as a span named by its id, with each
+    measured cell's per-rep instrumentation underneath
+    ({!Replicate.broadcast_times}'s [?trace]); results are unchanged. *)
 
 val with_metrics_sink : Rumor_obs.Run_record.sink -> (unit -> 'a) -> 'a
 (** [with_metrics_sink sink f] installs [sink] for the dynamic extent of
@@ -69,3 +74,7 @@ val with_jobs : int -> (unit -> 'a) -> 'a
 val with_engine : bool -> (unit -> 'a) -> 'a
 (** [with_engine on f] routes measured cells through the engine kernels for
     the dynamic extent of [f] (same scoping as {!with_jobs}). *)
+
+val with_trace : Rumor_obs.Trace.t -> (unit -> 'a) -> 'a
+(** [with_trace tr f] records every cell measured within [f] into [tr]
+    (same scoping as {!with_jobs}). *)

@@ -112,7 +112,7 @@ let is_random = function
   | Heavy_tree _ | Siamese _ | Csc _ | Grid _ | Torus _ | Hypercube _
   | Necklace _ | Barbell _ | Lollipop _ -> false
 
-let build rng spec =
+let build ?trace rng spec =
   match spec with
   | Complete n -> (Gen_basic.complete n, 0)
   | Path n -> (Gen_basic.path n, 0)
@@ -137,7 +137,8 @@ let build rng spec =
   | Necklace (c, s) -> (Gen_basic.necklace ~cliques:c ~clique_size:s, 0)
   | Barbell (s, b) -> (Gen_basic.barbell ~clique_size:s ~bridge_len:b, 0)
   | Lollipop (s, t) -> (Gen_basic.lollipop ~clique_size:s ~tail_len:t, 0)
-  | Random_regular (n, d) -> (Gen_random.random_regular_connected rng ~n ~d, 0)
-  | Er (n, p) -> (Gen_random.erdos_renyi rng ~n ~p, 0)
-  | Gnm (n, m) -> (Gen_random.gnm rng ~n ~m, 0)
-  | Ba (n, m) -> (Gen_random.preferential_attachment rng ~n ~m, 0)
+  | Random_regular (n, d) ->
+      (Gen_random.random_regular_connected ?trace rng ~n ~d, 0)
+  | Er (n, p) -> (Gen_random.erdos_renyi ?trace rng ~n ~p, 0)
+  | Gnm (n, m) -> (Gen_random.gnm ?trace rng ~n ~m, 0)
+  | Ba (n, m) -> (Gen_random.preferential_attachment ?trace rng ~n ~m, 0)

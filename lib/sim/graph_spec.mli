@@ -34,5 +34,9 @@ val families : string list
 val is_random : t -> bool
 (** Whether building consumes randomness (random graph models). *)
 
-val build : Rumor_prob.Rng.t -> t -> Rumor_graph.Graph.t * int
-(** [build rng spec] materializes the graph and its default source. *)
+val build :
+  ?trace:Rumor_obs.Trace.t -> Rumor_prob.Rng.t -> t -> Rumor_graph.Graph.t * int
+(** [build rng spec] materializes the graph and its default source.
+    [trace] records the {!Rumor_graph.Graph.Builder} phase spans for the
+    random families (the deterministic [Gen_basic]/[Gen_paper] families
+    build through the same builder but are not individually traced). *)

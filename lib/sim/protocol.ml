@@ -78,20 +78,27 @@ let run ?traffic ?obs spec rng g ~source ~max_rounds =
         .P.Frog.run_result
   | Flood -> P.Flood.run ?obs g ~source ~max_rounds ()
 
-let run_engine ?traffic ?obs ?shards ?pool spec rng g ~source ~max_rounds =
-  match spec with
-  | Push -> P.Engine.push ?traffic ?obs ?shards ?pool rng g ~source ~max_rounds ()
-  | Push_pull ->
-      P.Engine.push_pull ?traffic ?obs ?shards ?pool rng g ~source ~max_rounds ()
-  | Visit_exchange { agents; laziness } ->
-      let lazy_walk = resolve_lazy laziness g in
-      P.Engine.visit_exchange ?traffic ?obs ~lazy_walk ?shards ?pool rng g ~source
-        ~agents ~max_rounds ()
-  | Meet_exchange { agents; laziness } ->
-      let lazy_walk = resolve_lazy laziness g in
-      P.Engine.meet_exchange ?traffic ?obs ~lazy_walk ?shards ?pool rng g ~source
-        ~agents ~max_rounds ()
-  | (Combined _ | Pull | Quasi_push | Cobra _ | Frog _ | Flood) as other ->
-      (* no engine kernel (yet): fall back to the legacy implementation,
-         which consumes the rng identically for every [shards] value *)
-      run ?traffic ?obs other rng g ~source ~max_rounds
+let run_engine ?traffic ?obs ?trace ?shards ?pool spec rng g ~source
+    ~max_rounds =
+  (* one top-level span per run, named after the protocol; the kernels hang
+     their per-round spans under it *)
+  Rumor_obs.Trace.with_span trace ("engine." ^ name spec) (fun () ->
+      match spec with
+      | Push ->
+          P.Engine.push ?traffic ?obs ?trace ?shards ?pool rng g ~source
+            ~max_rounds ()
+      | Push_pull ->
+          P.Engine.push_pull ?traffic ?obs ?trace ?shards ?pool rng g ~source
+            ~max_rounds ()
+      | Visit_exchange { agents; laziness } ->
+          let lazy_walk = resolve_lazy laziness g in
+          P.Engine.visit_exchange ?traffic ?obs ?trace ~lazy_walk ?shards ?pool
+            rng g ~source ~agents ~max_rounds ()
+      | Meet_exchange { agents; laziness } ->
+          let lazy_walk = resolve_lazy laziness g in
+          P.Engine.meet_exchange ?traffic ?obs ?trace ~lazy_walk ?shards ?pool
+            rng g ~source ~agents ~max_rounds ()
+      | (Combined _ | Pull | Quasi_push | Cobra _ | Frog _ | Flood) as other ->
+          (* no engine kernel (yet): fall back to the legacy implementation,
+             which consumes the rng identically for every [shards] value *)
+          run ?traffic ?obs other rng g ~source ~max_rounds)

@@ -63,6 +63,7 @@ val engine_capable : spec -> bool
 val run_engine :
   ?traffic:Rumor_protocols.Traffic.t ->
   ?obs:Rumor_obs.Instrument.t ->
+  ?trace:Rumor_obs.Trace.t ->
   ?shards:int ->
   ?pool:Rumor_par.Pool.t ->
   spec ->
@@ -77,4 +78,7 @@ val run_engine :
     is bit-identical to {!run} on the same seed; [shards > 1] re-keys
     randomness per round ({!Rumor_prob.Rng.split_n}, one child per shard)
     and is a pure function of (seed, shards), independent of [?pool]'s
-    parallelism.  Specs without an engine kernel fall back to {!run}. *)
+    parallelism.  Specs without an engine kernel fall back to {!run}.
+    [trace] wraps the whole run in an ["engine.<name>"] span and threads
+    through to the kernel's per-round instrumentation
+    ({!Rumor_protocols.Engine}); it never changes the result. *)

@@ -3,6 +3,7 @@ module Stats = Rumor_prob.Stats
 module Graph = Rumor_graph.Graph
 module Run_result = Rumor_protocols.Run_result
 module Run_record = Rumor_obs.Run_record
+module Trace = Rumor_obs.Trace
 module Pool = Rumor_par.Pool
 
 type measurement = {
@@ -22,7 +23,7 @@ let () =
              rep rounds_run)
     | _ -> None)
 
-let measure ?(on_capped = `Keep) ?record ?(jobs = 1) ~seed ~reps f =
+let measure ?(on_capped = `Keep) ?record ?(jobs = 1) ?trace ~seed ~reps f =
   if reps <= 0 then invalid_arg "Replicate.measure: reps <= 0";
   let master = Rng.of_int seed in
   (* One child generator per rep, split in rep order on the master before
@@ -30,8 +31,14 @@ let measure ?(on_capped = `Keep) ?record ?(jobs = 1) ~seed ~reps f =
      so results are bit-identical however the pool schedules the reps. *)
   let rngs = Rng.split_n master reps in
   let pool = Pool.create ~jobs in
+  (* [f] sees the tracer of whichever worker domain runs it (the pool forks
+     one child tracer per spawned domain; see Pool.init_traced), bracketed
+     in a per-rep span.  Tracing never touches the rep's generator, so
+     traced and untraced measurements are bit-identical. *)
   let runs =
-    Pool.init pool reps (fun rep -> Run_record.timed (fun () -> f ~rep rngs.(rep)))
+    Pool.init_traced ?trace ~label:"rep.chunk" pool reps (fun ~trace rep ->
+        Trace.with_span trace ~arg:rep "rep" (fun () ->
+            Run_record.timed (fun () -> f ~trace ~rep rngs.(rep))))
   in
   (* Ordered post-join pass: [record] fires in ascending rep order (a JSONL
      sink sees exactly the sequential stream, never interleaved), and under
@@ -56,8 +63,9 @@ let measure ?(on_capped = `Keep) ?record ?(jobs = 1) ~seed ~reps f =
   in
   { times; capped = !capped; summary = Stats.summarize times }
 
-let broadcast_times ?on_capped ?sink ?(graph_name = "custom") ?jobs
+let broadcast_times ?on_capped ?sink ?(graph_name = "custom") ?jobs ?trace
     ?(engine = false) ?shards ~seed ~reps ~graph ~spec ~max_rounds () =
+  let shard_count = match shards with Some s -> s | None -> 1 in
   (* [graph rng] re-samples per replication inside [f]; each rep writes |V|
      to its own slot, read back by the rep-ordered record pass. *)
   let vertices = Array.make (max reps 1) 0 in
@@ -78,18 +86,22 @@ let broadcast_times ?on_capped ?sink ?(graph_name = "custom") ?jobs
             informed_curve = result.Run_result.informed_curve;
             wall_seconds;
             gc;
+            engine;
+            shards = (if engine then shard_count else 1);
           })
       sink
   in
-  measure ?on_capped ?record ?jobs ~seed ~reps (fun ~rep rng ->
-      let g, source = graph rng in
+  measure ?on_capped ?record ?jobs ?trace ~seed ~reps (fun ~trace ~rep rng ->
+      let g, source = Trace.with_span trace "graph.build" (fun () -> graph rng) in
       vertices.(rep) <- Graph.n g;
       if engine then
         (* engine shards run on the default sequential pool here: the rep
            level already owns the [?jobs] domains, and sharded results are
            jobs-independent by construction anyway *)
-        Protocol.run_engine ?shards spec rng g ~source ~max_rounds
-      else Protocol.run spec rng g ~source ~max_rounds)
+        Protocol.run_engine ?trace ?shards spec rng g ~source ~max_rounds
+      else
+        Trace.with_span trace ("run." ^ Protocol.name spec) (fun () ->
+            Protocol.run spec rng g ~source ~max_rounds))
 
 let mean m = m.summary.Stats.mean
 let median m = m.summary.Stats.median

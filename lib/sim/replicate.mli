@@ -38,9 +38,13 @@ val measure :
     gc:Rumor_obs.Run_record.gc_counters ->
     unit) ->
   ?jobs:int ->
+  ?trace:Rumor_obs.Trace.t ->
   seed:int ->
   reps:int ->
-  (rep:int -> Rumor_prob.Rng.t -> Rumor_protocols.Run_result.t) ->
+  (trace:Rumor_obs.Trace.t option ->
+  rep:int ->
+  Rumor_prob.Rng.t ->
+  Rumor_protocols.Run_result.t) ->
   measurement
 (** [measure ~seed ~reps f] calls [f ~rep] with [reps] independent
     generators, one per replication, on [jobs] domains (default [1] =
@@ -52,6 +56,12 @@ val measure :
     per replication in ascending rep order — capped or not, before the
     [`Fail] check — with the raw result plus wall-clock and GC-allocation
     cost of that run (both measured on the domain that ran it).
+
+    [?trace] records each replication as a ["rep"] span (its [arg] is the
+    rep index) on the track of the domain that ran it; [f] receives that
+    domain's tracer so the work inside the rep can trace too, and [None]
+    when tracing is off.  Tracing never touches the replication generators,
+    so traced and untraced measurements are bit-identical.
     @raise Invalid_argument if [reps <= 0] or [jobs < 0]. *)
 
 val broadcast_times :
@@ -59,6 +69,7 @@ val broadcast_times :
   ?sink:Rumor_obs.Run_record.sink ->
   ?graph_name:string ->
   ?jobs:int ->
+  ?trace:Rumor_obs.Trace.t ->
   ?engine:bool ->
   ?shards:int ->
   seed:int ->
@@ -78,6 +89,11 @@ val broadcast_times :
     in ascending rep order: a JSONL sink written under [jobs > 1] is
     byte-identical to the sequential one up to the per-rep [wall_seconds]
     and [gc] timing fields.
+
+    [?trace] threads through {!measure}'s per-rep spans and on into the
+    graph build (a ["graph.build"] span per replication) and the protocol
+    run (engine per-round instrumentation via {!Protocol.run_engine}, or a
+    single ["run.<protocol>"] span on the legacy path).
 
     [~engine:true] routes each replication through {!Protocol.run_engine}
     (the flat-frontier kernels) instead of {!Protocol.run}; with the default

@@ -1,0 +1,2 @@
+(* R8 offender: a wall-clock read outside lib/obs. *)
+let now () = Unix.gettimeofday ()

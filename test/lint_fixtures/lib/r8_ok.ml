@@ -1,0 +1,3 @@
+(* Same offense as r8_bad.ml, silenced on the line above. *)
+(* lint: allow R8 — fixture: exercising comment-above suppression *)
+let now () = Unix.gettimeofday ()

@@ -1,0 +1,1 @@
+val now : unit -> float

@@ -312,6 +312,54 @@ let test_curve_buf () =
   Alcotest.(check int) "set_last" 7 c.(999);
   Alcotest.(check int) "tiny hint ok" 0 (P.Curve_buf.length (P.Curve_buf.create ~hint:0))
 
+(* ------------------------------------- disabled-trace fast path is free *)
+
+let test_disabled_trace_allocation_free () =
+  (* Two disjoint edges: push from 0 can never reach {2, 3}, so the run is
+     capped after exactly max_rounds rounds, and running two caps that
+     differ by many rounds isolates the marginal allocation per round.
+     Random draws dominate that figure (both kernels make the same two
+     neighbor draws per round here), so the engine's marginal cost is
+     compared against the legacy kernel's rather than an absolute bound:
+     the per-draw cost cancels and what remains is the engine's own
+     per-round overhead, which the disabled [?trace] plumbing must not
+     grow — a with_span closure or per-round [Some] cells at the three
+     trace sites per round would move it. *)
+  let g = Graph.of_edges ~n:4 [ (0, 1); (2, 3) ] in
+  let marginal run =
+    ignore (run 16);
+    (* warm-up pays one-time allocation *)
+    let r1, a1 = run 2_000 in
+    let r2, a2 = run 12_000 in
+    Alcotest.(check bool) "short run capped" false (Run_result.completed r1);
+    Alcotest.(check bool) "long run capped" false (Run_result.completed r2);
+    Alcotest.(check int) "short rounds" 2_000 r1.Run_result.rounds_run;
+    Alcotest.(check int) "long rounds" 12_000 r2.Run_result.rounds_run;
+    (a2 -. a1) /. 10_000.0
+  in
+  let timed f cap =
+    let before = Gc.allocated_bytes () in
+    let r = f cap in
+    (r, Gc.allocated_bytes () -. before)
+  in
+  let engine =
+    marginal
+      (timed (fun cap ->
+           Engine.push (Rng.of_int 5) g ~source:0 ~max_rounds:cap ()))
+  in
+  let legacy =
+    marginal
+      (timed (fun cap ->
+           P.Push.run (Rng.of_int 5) g ~source:0 ~max_rounds:cap ()))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "engine per-round allocation overhead %.1f B (engine %.1f, legacy %.1f) \
+        < 256 B"
+       (engine -. legacy) engine legacy)
+    true
+    (engine -. legacy < 256.0)
+
 let suite =
   [
     Alcotest.test_case "push = legacy (seeds x families)" `Quick test_push_matches_legacy;
@@ -336,6 +384,8 @@ let suite =
     Alcotest.test_case "sharded push curve shape" `Quick
       test_sharded_push_same_distribution_shape;
     Alcotest.test_case "max_int cap: O(rounds) allocation" `Quick test_huge_cap_completes;
+    Alcotest.test_case "disabled trace allocation-free" `Quick
+      test_disabled_trace_allocation_free;
     Alcotest.test_case "max_int cap: walkers" `Quick test_huge_cap_walkers;
     Alcotest.test_case "argument validation" `Quick test_validation;
     Alcotest.test_case "curve buffer" `Quick test_curve_buf;

@@ -12,7 +12,7 @@ let lint_exe =
 
 let fixture_root = "lint_fixtures"
 let fixture name = Filename.concat (Filename.concat fixture_root "lib") name
-let rule_ids = [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7" ]
+let rule_ids = [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7"; "R8" ]
 
 let has_sub sub s =
   let n = String.length s and m = String.length sub in

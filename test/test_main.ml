@@ -49,6 +49,7 @@ let () =
       ("sim.invariants", Test_invariants.suite);
       ("sim.curve_stats", Test_curve_stats.suite);
       ("obs.instrument", Test_obs.suite);
+      ("obs.trace", Test_trace.suite);
       ("obs.analysis", Test_report.suite);
       ("tools.lint", Test_lint.suite);
     ]

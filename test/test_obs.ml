@@ -180,6 +180,8 @@ let sample_record =
     informed_curve = [| 1; 2; 4; 8 |];
     wall_seconds = 0.125;
     gc = { Run_record.minor_words = 10.0; major_words = 2.0; promoted_words = 1.0 };
+    engine = false;
+    shards = 1;
   }
 
 let test_record_json_fields () =
@@ -219,6 +221,42 @@ let test_record_json_null_when_capped () =
   Alcotest.(check bool) "null broadcast_time" true
     (contains "\"broadcast_time\":null");
   Alcotest.(check bool) "capped true" true (contains "\"capped\":true")
+
+(* The engine/shards fields round-trip through to_json/of_json, and a
+   record written before they existed still parses (absent reads as the
+   legacy path: engine false, shards 1). *)
+let test_record_engine_fields_roundtrip () =
+  let r = { sample_record with Run_record.engine = true; shards = 4 } in
+  match Run_record.of_json (Run_record.to_json r) with
+  | Error msg -> Alcotest.failf "round-trip: %s" msg
+  | Ok back ->
+      Alcotest.(check bool) "engine" true back.Run_record.engine;
+      Alcotest.(check int) "shards" 4 back.Run_record.shards;
+      Alcotest.(check string) "full round-trip" (Run_record.to_json r)
+        (Run_record.to_json back)
+
+let test_record_engine_fields_absent () =
+  let json = Run_record.to_json sample_record in
+  (* strip the trailing ,"engine":...,"shards":...} to get a legacy line *)
+  let cut =
+    match String.index_opt json ',' with
+    | None -> Alcotest.fail "unexpected JSON shape"
+    | Some _ ->
+        let marker = ",\"engine\":" in
+        let ml = String.length marker in
+        let jl = String.length json in
+        let rec find i =
+          if i + ml > jl then Alcotest.fail "no engine field emitted"
+          else if String.sub json i ml = marker then i
+          else find (i + 1)
+        in
+        String.sub json 0 (find 0) ^ "}"
+  in
+  match Run_record.of_json cut with
+  | Error msg -> Alcotest.failf "legacy record rejected: %s" msg
+  | Ok back ->
+      Alcotest.(check bool) "engine defaults false" false back.Run_record.engine;
+      Alcotest.(check int) "shards defaults 1" 1 back.Run_record.shards
 
 let test_jsonl_file_roundtrip () =
   let path = Filename.temp_file "rumor_obs_test" ".jsonl" in
@@ -306,7 +344,7 @@ let test_sink_gets_one_record_per_rep () =
       | None -> Alcotest.fail "unexpected capped run")
     records
 
-let capped_push ~rep:_ rng =
+let capped_push ~trace:_ ~rep:_ rng =
   P.Push.run rng (Gen.path 50) ~source:0 ~max_rounds:2 ()
 
 let test_on_capped_keep_default () =
@@ -353,6 +391,10 @@ let suite =
     Alcotest.test_case "record JSON fields" `Quick test_record_json_fields;
     Alcotest.test_case "record JSON capped null" `Quick
       test_record_json_null_when_capped;
+    Alcotest.test_case "record engine fields roundtrip" `Quick
+      test_record_engine_fields_roundtrip;
+    Alcotest.test_case "record engine fields absent" `Quick
+      test_record_engine_fields_absent;
     Alcotest.test_case "JSONL file roundtrip" `Quick test_jsonl_file_roundtrip;
     Alcotest.test_case "JSONL append flag" `Quick test_jsonl_append_flag;
     Alcotest.test_case "sink gets one record per rep" `Quick

@@ -5,7 +5,7 @@ module Gen = Rumor_graph.Gen_basic
 module Replicate = Rumor_sim.Replicate
 module Protocol = Rumor_sim.Protocol
 
-let push_on_clique ~rep:_ rng =
+let push_on_clique ~trace:_ ~rep:_ rng =
   Rumor_protocols.Push.run rng (Gen.complete 32) ~source:0 ~max_rounds:10_000 ()
 
 let test_rep_count () =
@@ -34,7 +34,7 @@ let test_replications_vary () =
   Alcotest.(check bool) "not all identical" true (distinct > 1)
 
 let test_capped_counted () =
-  let f ~rep:_ rng =
+  let f ~trace:_ ~rep:_ rng =
     Rumor_protocols.Push.run rng (Gen.path 50) ~source:0 ~max_rounds:2 ()
   in
   let m = Replicate.measure ~seed:216 ~reps:4 f in
@@ -74,7 +74,9 @@ let test_graph_resampled_per_replication () =
 
 (* The engine path must be invisible in every observable: identical
    measurements AND an identical sink stream (records carry the informed
-   curve, so this also pins per-round dynamics), up to per-rep timing. *)
+   curve, so this also pins per-round dynamics), up to per-rep timing and
+   the engine/shards provenance fields, which are the one deliberate
+   difference and are pinned separately below. *)
 let test_engine_sink_stream_identical () =
   let detimed (r : Rumor_obs.Run_record.t) =
     Rumor_obs.Run_record.to_json
@@ -82,6 +84,8 @@ let test_engine_sink_stream_identical () =
         r with
         Rumor_obs.Run_record.wall_seconds = 0.0;
         gc = { minor_words = 0.0; major_words = 0.0; promoted_words = 0.0 };
+        engine = false;
+        shards = 1;
       }
   in
   let graph rng =
@@ -97,10 +101,23 @@ let test_engine_sink_stream_identical () =
             ~graph_name:"rr:48,4" ~engine ~seed:220 ~reps:4 ~graph ~spec
             ~max_rounds:100_000 ()
         in
-        (m, List.rev_map detimed !records)
+        let raw = List.rev !records in
+        (m, List.map detimed raw, raw)
       in
-      let legacy, legacy_records = run ~engine:false in
-      let engine, engine_records = run ~engine:true in
+      let legacy, legacy_records, legacy_raw = run ~engine:false in
+      let engine, engine_records, engine_raw = run ~engine:true in
+      List.iter
+        (fun (r : Rumor_obs.Run_record.t) ->
+          Alcotest.(check bool)
+            (Protocol.name spec ^ ": legacy records say engine=false")
+            false r.Rumor_obs.Run_record.engine)
+        legacy_raw;
+      List.iter
+        (fun (r : Rumor_obs.Run_record.t) ->
+          Alcotest.(check bool)
+            (Protocol.name spec ^ ": engine records say engine=true")
+            true r.Rumor_obs.Run_record.engine)
+        engine_raw;
       Alcotest.(check (array (float 0.0)))
         (Protocol.name spec ^ ": times identical")
         legacy.Replicate.times engine.Replicate.times;

@@ -392,7 +392,58 @@ let rec r7 =
   }
 
 (* ------------------------------------------------------------------ *)
+(* R8 clock-confinement                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* lib/obs owns the wall clock (Rumor_obs.Clock is the one audited call
+   site); like lib/par with R7, its dune lint rule passes bare filenames
+   and opts out with --except R8 rather than relying on this path check. *)
+let under_obs (ctx : Rule.ctx) =
+  let rec has = function
+    | "lib" :: "obs" :: _ -> true
+    | _ :: rest -> has rest
+    | [] -> false
+  in
+  has (String.split_on_char '/' ctx.path)
+
+let clock_ident li =
+  match components (strip_stdlib li) with
+  | [ "Unix"; ("gettimeofday" | "time" | "times") ] -> true
+  | [ "Sys"; "time" ] -> true
+  | ("Mtime" | "Mtime_clock") :: _ -> true
+  | _ -> false
+
+let rec r8 =
+  {
+    Rule.id = "R8";
+    name = "clock-confinement";
+    doc =
+      "Unix.gettimeofday / Sys.time / Mtime only under lib/obs/ — wall-clock \
+       reads go through Rumor_obs.Clock";
+    applies = (fun ctx -> Rule.everywhere ctx && not (under_obs ctx));
+    check =
+      (fun ctx str ->
+        let msg =
+          "wall-clock read outside lib/obs/: use Rumor_obs.Clock so the time \
+           source stays swappable and simulation logic provably never reads \
+           real time"
+        in
+        collect
+          (fun acc ->
+            let open Ast_iterator in
+            let expr self e =
+              (match e.pexp_desc with
+              | Pexp_ident { txt; loc } when clock_ident txt ->
+                  acc := finding ~rule:r8 ctx loc msg :: !acc
+              | _ -> ());
+              default_iterator.expr self e
+            in
+            { default_iterator with expr })
+          str);
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Registry                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let all : Rule.t list = [ r1; r2; r3; r4; r5; r6; r7 ]
+let all : Rule.t list = [ r1; r2; r3; r4; r5; r6; r7; r8 ]
