@@ -28,6 +28,7 @@ let swap q i j =
   q.data.(i) <- q.data.(j);
   q.data.(j) <- tmp
 
+(* lint: hot *)
 let rec sift_up q i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
@@ -37,6 +38,7 @@ let rec sift_up q i =
     end
   end
 
+(* lint: hot *)
 let rec sift_down q i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
@@ -47,6 +49,7 @@ let rec sift_down q i =
     sift_down q !smallest
   end
 
+(* lint: hot *)
 let push q time payload =
   if Float.is_nan time then invalid_arg "Event_queue.push: NaN time";
   let entry = { time; seq = q.next_seq; payload } in
@@ -61,6 +64,7 @@ let push q time payload =
   q.len <- q.len + 1;
   sift_up q (q.len - 1)
 
+(* lint: hot *)
 let pop q =
   if q.len = 0 then None
   else begin

@@ -17,6 +17,7 @@ let shard_bounds ~n ~shards =
       let len = base + if s < extra then 1 else 0 in
       (lo, lo + len))
 
+(* lint: hot *)
 let parallel_for ?trace ?(label = "shard") pool ~n ~shards f =
   let bounds = shard_bounds ~n ~shards in
   Pool.init_traced ?trace ~label pool shards (fun ~trace:_ s ->

@@ -21,6 +21,7 @@ let jobs t = t.jobs
    and the remaining workers stop claiming new chunks. *)
 type failure = { exn : exn; bt : Printexc.raw_backtrace }
 
+(* lint: hot *)
 let init_traced ?trace ?(label = "pool.chunk") t n f =
   if n < 0 then invalid_arg "Pool.init: negative length";
   if t.jobs = 1 || n <= 1 then
@@ -63,12 +64,14 @@ let init_traced ?trace ?(label = "pool.chunk") t n f =
       match tr with
       | None ->
           for i = start to stop - 1 do
+            (* lint: allow R10 — the Some wrapper is the slot's claimed mark *)
             results.(i) <- Some (f ~trace:None i)
           done
       | Some t' -> (
           Trace.begin_span t' ~arg:start label;
           match
             for i = start to stop - 1 do
+              (* lint: allow R10 — the Some wrapper is the slot's claimed mark *)
               results.(i) <- Some (f ~trace:tr i)
             done
           with

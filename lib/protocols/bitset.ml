@@ -13,9 +13,11 @@ let create n =
   if n < 0 then invalid_arg "Bitset.create: negative size";
   Bytes.make ((n + 7) lsr 3) '\000'
 
+(* lint: hot *)
 let mem t i =
   Char.code (Bytes.unsafe_get t (i lsr 3)) land (1 lsl (i land 7)) <> 0
 
+(* lint: hot *)
 let add t i =
   let byte = i lsr 3 in
   Bytes.unsafe_set t byte

@@ -17,6 +17,7 @@ let create ~hint =
 
 let length b = b.len
 
+(* lint: hot *)
 let push b v =
   let capacity = Array.length b.data in
   if b.len = capacity then begin

@@ -72,6 +72,7 @@ let check_common ~who ~n ~source ~max_rounds ~shards =
 
 (* ------------------------------------------------------------------ push *)
 
+(* lint: hot *)
 let push ?traffic ?obs ?trace ?(failure_prob = 0.0) ?tau ?(shards = 1) ?pool
     rng g ~source ~max_rounds () =
   let n = Graph.n g in
@@ -140,7 +141,7 @@ let push ?traffic ?obs ?trace ?(failure_prob = 0.0) ?tau ?(shards = 1) ?pool
          disjoint slots of [picks]/[failed]; all shared-state updates wait
          for the sequential merge below *)
       let (_ : unit array) =
-        Par.parallel_for ?trace ~label:"push.draw" pool ~n:active ~shards
+        Par.parallel_for ?trace ~label:"push.draw" pool ~n:active ~shards (* lint: allow R10 — label Some + shard closure: per round, not per contact *)
           (fun ~shard ~lo ~hi ->
             let r = rngs.(shard) in
             for i = lo to hi - 1 do
@@ -168,6 +169,7 @@ let push ?traffic ?obs ?trace ?(failure_prob = 0.0) ?tau ?(shards = 1) ?pool
 
 (* ------------------------------------------------------------- push-pull *)
 
+(* lint: hot *)
 let push_pull ?traffic ?obs ?trace ?(shards = 1) ?pool rng g ~source
     ~max_rounds () =
   let n = Graph.n g in
@@ -222,7 +224,7 @@ let push_pull ?traffic ?obs ?trace ?(shards = 1) ?pool rng g ~source
       let c0 = !contacts in
       let rngs = Rng.split_n rng shards in
       let (_ : unit array) =
-        Par.parallel_for ?trace ~label:"push_pull.draw" pool ~n ~shards
+        Par.parallel_for ?trace ~label:"push_pull.draw" pool ~n ~shards (* lint: allow R10 — label Some + shard closure: per round, not per contact *)
           (fun ~shard ~lo ~hi ->
             let r = rngs.(shard) in
             for u = lo to hi - 1 do
@@ -260,6 +262,7 @@ let place_agents ~who rng g agents =
 (* One synchronized walker round over a flat position array, consuming [rng]
    in exactly Walkers.step's order: per agent, the lazy coin (if lazy) then
    the neighbor draw. *)
+(* lint: hot *)
 let move_agents_seq ?traffic ?obs ~lazy_walk rng g pos =
   for a = 0 to Array.length pos - 1 do
     let u = pos.(a) in
@@ -275,6 +278,7 @@ let move_agents_seq ?traffic ?obs ~lazy_walk rng g pos =
 
 (* Sharded variant: destinations are drawn into [moves] with one split child
    per shard, then applied (and reported) sequentially in agent order. *)
+(* lint: hot *)
 let move_agents_sharded ?traffic ?obs ?trace ~lazy_walk ~shards pool rng g pos
     moves =
   let k = Array.length pos in
@@ -302,6 +306,7 @@ let move_agents_sharded ?traffic ?obs ?trace ~lazy_walk ~shards pool rng g pos
 
 (* -------------------------------------------------------- visit-exchange *)
 
+(* lint: hot *)
 let visit_exchange ?traffic ?obs ?trace ?(lazy_walk = false) ?(shards = 1)
     ?pool rng g ~source ~agents ~max_rounds () =
   let n = Graph.n g in
@@ -325,14 +330,16 @@ let visit_exchange ?traffic ?obs ?trace ?(lazy_walk = false) ?(shards = 1)
   done;
   let curve = Curve_buf.create ~hint:max_rounds in
   Curve_buf.push curve 1;
-  let all_agents_round = ref (if !informed_agents = k then Some 0 else None) in
+  (* -1 = not all informed yet; an int sentinel instead of [int option ref]
+     so flipping it in the round loop never allocates a [Some] cell *)
+  let all_agents_round = ref (if !informed_agents = k then 0 else -1) in
   (* the round the most recent vertex was informed; its final value is the
      completion round when all vertices end up informed *)
   let last_vertex_round = ref 0 in
   let moves = if shards = 1 then [||] else Array.make k 0 in
   let pool = if shards = 1 then None else Some (get_pool pool) in
   let t = ref 0 in
-  while (!informed_vertices < n || !all_agents_round = None) && !t < max_rounds do
+  while (!informed_vertices < n || !all_agents_round < 0) && !t < max_rounds do
     incr t;
     let round = !t in
     Obs.round_start obs round;
@@ -374,8 +381,8 @@ let visit_exchange ?traffic ?obs ?trace ?(lazy_walk = false) ?(shards = 1)
       end
     done;
     span_end trace;
-    if !informed_agents = k && !all_agents_round = None then
-      all_agents_round := Some round;
+    if !informed_agents = k && !all_agents_round < 0 then
+      all_agents_round := round;
     Curve_buf.push curve !informed_vertices;
     trace_round_end trace ~informed:!informed_vertices
       ~contacts_delta:(!contacts - c0);
@@ -385,13 +392,17 @@ let visit_exchange ?traffic ?obs ?trace ?(lazy_walk = false) ?(shards = 1)
   let broadcast_time =
     if !informed_vertices = n then Some !last_vertex_round else None
   in
-  Run_result.make ~all_agents_informed:!all_agents_round ~broadcast_time
+  let all_agents_informed =
+    if !all_agents_round < 0 then None else Some !all_agents_round
+  in
+  Run_result.make ~all_agents_informed ~broadcast_time
     ~rounds_run
     ~informed_curve:(Curve_buf.contents curve)
     ~contacts:!contacts ()
 
 (* --------------------------------------------------------- meet-exchange *)
 
+(* lint: hot *)
 let meet_exchange ?traffic ?obs ?trace ?lazy_walk ?(shards = 1) ?pool rng g
     ~source ~agents ~max_rounds () =
   let n = Graph.n g in
@@ -441,6 +452,9 @@ let meet_exchange ?traffic ?obs ?trace ?lazy_walk ?(shards = 1) ?pool rng g
   Curve_buf.push curve !informed;
   let moves = if shards = 1 then [||] else Array.make k 0 in
   let pool = if shards = 1 then None else Some (get_pool pool) in
+  (* hoisted out of the per-vertex meeting scan below: a fresh [ref] per
+     vertex is one allocation per occupied vertex per round *)
+  let witness = ref false in
   let t = ref 0 in
   while !informed < k && !t < max_rounds do
     incr t;
@@ -481,7 +495,7 @@ let meet_exchange ?traffic ?obs ?trace ?lazy_walk ?(shards = 1) ?pool rng g
        every agent standing on it *)
     for v = 0 to n - 1 do
       if starts.(v + 1) - starts.(v) >= 2 then begin
-        let witness = ref false in
+        witness := false;
         for i = starts.(v) to starts.(v + 1) - 1 do
           if Bitset.mem agent_before ids.(i) then witness := true
         done;

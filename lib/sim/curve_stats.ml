@@ -1,5 +1,6 @@
 module Run_result = Rumor_protocols.Run_result
 
+(* lint: hot *)
 let time_to_fraction_curve ?(completed = true) curve q =
   if not (q > 0.0 && q <= 1.0) then
     invalid_arg "Curve_stats.time_to_fraction: fraction outside (0, 1]";

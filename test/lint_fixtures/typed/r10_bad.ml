@@ -1,0 +1,10 @@
+(* R10 offender: a hot-marked loop that boxes a pair every iteration. *)
+
+(* lint: hot *)
+let sum_pairs (a : int array) =
+  let acc = ref 0 in
+  for i = 0 to Array.length a - 1 do
+    let pair = (a.(i), i) in
+    acc := !acc + fst pair
+  done;
+  !acc

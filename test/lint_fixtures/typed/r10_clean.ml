@@ -1,0 +1,9 @@
+(* Hot-marked but allocation-free: nothing to flag. *)
+
+(* lint: hot *)
+let sum (a : int array) =
+  let acc = ref 0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc + a.(i)
+  done;
+  !acc

@@ -1,0 +1,18 @@
+(* A trimmed standalone copy of Engine.push's inner loop shape with one
+   seeded offense: the contact pair is boxed per iteration. Used by the
+   e2e `--only R10` test. *)
+
+(* lint: hot *)
+let push_round ~(frontier : int array) ~nfrontier ~(informed : bool array)
+    ~(pick : int -> int) =
+  let newly = ref 0 in
+  for i = 0 to nfrontier - 1 do
+    let u = frontier.(i) in
+    let contact = (u, pick u) in
+    let v = snd contact in
+    if not informed.(v) then begin
+      informed.(v) <- true;
+      incr newly
+    end
+  done;
+  !newly

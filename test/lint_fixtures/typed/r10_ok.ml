@@ -1,0 +1,11 @@
+(* The same per-iteration allocation as r10_bad.ml, suppressed inline. *)
+
+(* lint: hot *)
+let sum_pairs (a : int array) =
+  let acc = ref 0 in
+  for i = 0 to Array.length a - 1 do
+    (* lint: allow R10 — the boxed pair is this fixture's point *)
+    let pair = (a.(i), i) in
+    acc := !acc + fst pair
+  done;
+  !acc

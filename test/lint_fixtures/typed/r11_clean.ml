@@ -1,0 +1,9 @@
+(* Clean under R11: every write from the closure is either rooted in a
+   closure-local binding or indexed by a value derived from the closure
+   parameter. *)
+
+let fill pool (out : int array) =
+  Rumor_par.Pool.init pool (Array.length out) (fun i ->
+      let scaled = i * 2 in
+      out.(i) <- scaled;
+      scaled)

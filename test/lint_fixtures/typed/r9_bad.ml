@@ -1,0 +1,4 @@
+(* R9 offender: [draw] never names Random, but reaches it through
+   R9_helper.entropy -- invisible to the per-file parsetree rules. *)
+
+let draw () = R9_helper.entropy ()

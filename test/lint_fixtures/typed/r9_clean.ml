@@ -1,0 +1,3 @@
+(* Clean under R9: only effect-free calls. *)
+
+let next x = R9_helper.pure x + 1

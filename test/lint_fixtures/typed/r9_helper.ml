@@ -1,0 +1,7 @@
+(* Helper module for the R9 interprocedural chain: [entropy] uses the
+   global Random state directly (R2's business, not R9's), [pure] is
+   effect-free. *)
+
+let entropy () = Random.int 1000
+
+let pure x = x + 1

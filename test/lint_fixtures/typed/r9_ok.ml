@@ -1,0 +1,4 @@
+(* The same transitive offense as r9_bad.ml, suppressed at the def. *)
+
+(* lint: allow R9 — deterministic seeding is not required in this demo *)
+let draw () = R9_helper.entropy ()

@@ -205,6 +205,227 @@ let test_scratch_stats_copy_flagged () =
     | _ -> Alcotest.fail "expected exactly one R1 finding in the seeded copy"
   end
 
+(* --- suppression edge cases ------------------------------------------- *)
+
+(* Offender one-liner shared by the suppression edge-case tests: R1
+   (polymorphic sort on floats) and R2 (global Random) on the same line,
+   so one suppression line can cover both. *)
+let both_offenses = "let f (xs : float array) = Array.sort compare xs; Random.int 6"
+
+let test_suppress_last_line_no_newline () =
+  guard_exe @@ fun () ->
+  (* no trailing newline: the marker sits on the file's final, unterminated
+     line and must still be scanned *)
+  let body = "let f (xs : float array) =\n  Array.sort compare xs" in
+  (with_temp_ml body @@ fun path ->
+   let code, lines = run_lint [ "--only"; "R1"; path ] in
+   Alcotest.(check int) "unsuppressed last line exits 1" 1 code;
+   Alcotest.(check int) "one R1 finding" 1 (List.length lines));
+  with_temp_ml (body ^ " (* lint: allow R1 — last line, no newline *)")
+  @@ fun path ->
+  let code, lines = run_lint [ "--only"; "R1"; path ] in
+  Alcotest.(check int) "suppressed last line exits 0" 0 code;
+  Alcotest.(check int) "no findings" 0 (List.length lines)
+
+let test_suppress_multi_ids_one_comment () =
+  guard_exe @@ fun () ->
+  (with_temp_ml (both_offenses ^ "\n") @@ fun path ->
+   let code, lines = run_lint [ "--scope"; "lib"; "--only"; "R1,R2"; path ] in
+   Alcotest.(check int) "both rules fire unsuppressed" 1 code;
+   Alcotest.(check int) "two findings" 2 (List.length lines));
+  with_temp_ml ("(* lint: allow R1 R2 — one comment, two ids *)\n" ^ both_offenses ^ "\n")
+  @@ fun path ->
+  let code, lines = run_lint [ "--scope"; "lib"; "--only"; "R1,R2"; path ] in
+  Alcotest.(check int) "one comment silences both ids" 0 code;
+  Alcotest.(check int) "no findings" 0 (List.length lines)
+
+let test_suppress_two_markers_same_line () =
+  guard_exe @@ fun () ->
+  (* every marker on the line counts, not just the first *)
+  with_temp_ml
+    ("(* lint: allow R1 — first *) (* lint: allow R2 — second *)\n"
+   ^ both_offenses ^ "\n")
+  @@ fun path ->
+  let code, lines = run_lint [ "--scope"; "lib"; "--only"; "R1,R2"; path ] in
+  Alcotest.(check int) "second marker on the line is honored" 0 code;
+  Alcotest.(check int) "no findings" 0 (List.length lines)
+
+let test_suppress_crlf () =
+  guard_exe @@ fun () ->
+  let crlf lines = String.concat "\r\n" lines ^ "\r\n" in
+  (with_temp_ml (crlf [ "let f (xs : float array) ="; "  Array.sort compare xs" ])
+   @@ fun path ->
+   let code, _ = run_lint [ "--only"; "R1"; path ] in
+   Alcotest.(check int) "CRLF offender still detected" 1 code);
+  with_temp_ml
+    (crlf
+       [
+         "let f (xs : float array) =";
+         "  (* lint: allow R1 — CRLF endings *)";
+         "  Array.sort compare xs";
+       ])
+  @@ fun path ->
+  let code, lines = run_lint [ "--only"; "R1"; path ] in
+  Alcotest.(check int) "CRLF suppression honored" 0 code;
+  Alcotest.(check int) "no findings" 0 (List.length lines)
+
+(* --- --format json ----------------------------------------------------- *)
+
+module Json = Rumor_obs.Json
+
+let json_member name j =
+  match Json.member name j with
+  | Some v -> v
+  | None -> Alcotest.fail ("JSON document lacks field " ^ name)
+
+let test_json_format_round_trip () =
+  guard_exe @@ fun () ->
+  let code, lines =
+    run_lint [ "--format"; "json"; "--root"; fixture_root; fixture "r1_bad.ml" ]
+  in
+  Alcotest.(check int) "exits 1" 1 code;
+  let doc = Json.parse (String.concat "\n" lines) in
+  Alcotest.(check (option string))
+    "schema" (Some "rumor-lint/1")
+    (Json.to_string (json_member "schema" doc));
+  (match Json.to_list (json_member "errors" doc) with
+  | Some [] -> ()
+  | _ -> Alcotest.fail "expected an empty errors array");
+  match Json.to_list (json_member "findings" doc) with
+  | Some [ f ] ->
+      (* same file/line/col the text format prints (test_finding_format) *)
+      Alcotest.(check (option string))
+        "file" (Some (fixture "r1_bad.ml"))
+        (Json.to_string (json_member "file" f));
+      Alcotest.(check (option int)) "line" (Some 4)
+        (Json.to_int (json_member "line" f));
+      Alcotest.(check (option int)) "col" (Some 13)
+        (Json.to_int (json_member "col" f));
+      Alcotest.(check (option string))
+        "rule" (Some "R1")
+        (Json.to_string (json_member "rule" f))
+  | _ -> Alcotest.fail "expected exactly one finding in the JSON document"
+
+(* --- the typed rules (R9-R11) over the compiled fixture library -------- *)
+
+let typed_root = Filename.concat fixture_root "typed"
+let tfixture name = Filename.concat typed_root name
+
+let typed_args rest =
+  [ "--typed"; "--cmt-root"; typed_root; "--scope"; "lib" ] @ rest
+
+let guard_typed f =
+  guard_exe @@ fun () ->
+  if Sys.file_exists typed_root then f () else Alcotest.skip ()
+
+let check_typed_quiet ~only name =
+  let code, lines = run_lint (typed_args [ "--only"; only; tfixture name ]) in
+  Alcotest.(check int) (name ^ " exits 0") 0 code;
+  Alcotest.(check int) (name ^ " has no findings") 0 (List.length lines)
+
+let test_r9_interprocedural_chain () =
+  guard_typed @@ fun () ->
+  let code, lines =
+    run_lint (typed_args [ "--only"; "R9"; tfixture "r9_bad.ml" ])
+  in
+  Alcotest.(check int) "r9_bad exits 1" 1 code;
+  match lines with
+  | [ line ] ->
+      Alcotest.(check bool) "rule tag" true
+        (has_sub "[R9 effect-confinement]" line);
+      Alcotest.(check bool) "points at the caller's definition" true
+        (has_sub (tfixture "r9_bad.ml" ^ ":4:") line);
+      (* the cross-module chain is printed end to end *)
+      Alcotest.(check bool) "chain crosses into the helper module" true
+        (has_sub "R9_helper" line);
+      Alcotest.(check bool) "chain ends at the primitive" true
+        (has_sub "Random.int" line);
+      Alcotest.(check bool) "chain arrows present" true (has_sub " -> " line)
+  | _ -> Alcotest.fail "expected exactly one R9 finding"
+
+let test_r9_suppressed_and_clean () =
+  guard_typed @@ fun () ->
+  check_typed_quiet ~only:"R9" "r9_ok.ml";
+  check_typed_quiet ~only:"R9" "r9_clean.ml"
+
+let test_r10_hot_alloc () =
+  guard_typed @@ fun () ->
+  let code, lines =
+    run_lint (typed_args [ "--only"; "R10"; tfixture "r10_bad.ml" ])
+  in
+  Alcotest.(check int) "r10_bad exits 1" 1 code;
+  (match lines with
+  | [ line ] ->
+      Alcotest.(check bool) "rule tag" true (has_sub "[R10 hot-path-alloc]" line);
+      Alcotest.(check bool) "points at the allocation site" true
+        (has_sub (tfixture "r10_bad.ml" ^ ":7:15:") line);
+      Alcotest.(check bool) "names the allocation kind" true
+        (has_sub "tuple" line)
+  | _ -> Alcotest.fail "expected exactly one R10 finding");
+  check_typed_quiet ~only:"R10" "r10_ok.ml";
+  check_typed_quiet ~only:"R10" "r10_clean.ml"
+
+(* the acceptance scenario: --only R10 against a seeded allocating copy of
+   an engine round kernel *)
+let test_r10_seeded_kernel () =
+  guard_typed @@ fun () ->
+  let code, lines =
+    run_lint
+      [ "--typed"; "--cmt-root"; typed_root; "--only"; "R10";
+        tfixture "r10_kernel.ml" ]
+  in
+  Alcotest.(check int) "seeded kernel exits 1" 1 code;
+  match lines with
+  | [ line ] ->
+      Alcotest.(check bool) "R10 fires" true (has_sub "[R10" line);
+      Alcotest.(check bool) "at the seeded contact tuple" true
+        (has_sub (tfixture "r10_kernel.ml" ^ ":11:18:") line);
+      Alcotest.(check bool) "names the tuple" true (has_sub "tuple" line)
+  | _ -> Alcotest.fail "expected exactly one finding in the seeded kernel"
+
+let test_r11_domain_race () =
+  guard_typed @@ fun () ->
+  let code, lines =
+    run_lint (typed_args [ "--only"; "R11"; tfixture "r11_bad.ml" ])
+  in
+  Alcotest.(check int) "r11_bad exits 1" 1 code;
+  Alcotest.(check int) "direct write + transitive call = two findings" 2
+    (List.length lines);
+  let direct = List.filter (has_sub ":9:6:") lines in
+  Alcotest.(check int) "the captured-ref write is flagged at its site" 1
+    (List.length direct);
+  Alcotest.(check bool) "write finding says what it writes" true
+    (has_sub "writes" (List.hd direct));
+  let chained = List.filter (has_sub ":17:2:") lines in
+  Alcotest.(check int) "the closure->helper mutation is flagged at the call" 1
+    (List.length chained);
+  Alcotest.(check bool) "chained finding names the helper" true
+    (has_sub "bump" (List.hd chained));
+  Alcotest.(check bool) "chained finding prints the chain" true
+    (has_sub " -> " (List.hd chained));
+  check_typed_quiet ~only:"R11" "r11_ok.ml";
+  check_typed_quiet ~only:"R11" "r11_clean.ml"
+
+let test_json_chain_field () =
+  guard_typed @@ fun () ->
+  let code, lines =
+    run_lint
+      (typed_args [ "--only"; "R9"; "--format"; "json"; tfixture "r9_bad.ml" ])
+  in
+  Alcotest.(check int) "exits 1" 1 code;
+  let doc = Json.parse (String.concat "\n" lines) in
+  match Json.to_list (json_member "findings" doc) with
+  | Some [ f ] -> (
+      Alcotest.(check (option string))
+        "rule" (Some "R9")
+        (Json.to_string (json_member "rule" f));
+      match Json.to_list (json_member "chain" f) with
+      | Some steps ->
+          Alcotest.(check bool) "chain has at least caller and callee" true
+            (List.length steps >= 2)
+      | None -> Alcotest.fail "R9 JSON finding lacks a chain array")
+  | _ -> Alcotest.fail "expected exactly one R9 finding in the JSON document"
+
 let suite =
   [
     Alcotest.test_case "corpus: one finding per rule" `Quick
@@ -224,4 +445,26 @@ let suite =
     Alcotest.test_case "--except drops rules" `Quick test_except_drops_rules;
     Alcotest.test_case "seeded Array.sort compare in stats.ml copy" `Quick
       test_scratch_stats_copy_flagged;
+    Alcotest.test_case "suppression on an unterminated last line" `Quick
+      test_suppress_last_line_no_newline;
+    Alcotest.test_case "several rule ids in one suppression comment" `Quick
+      test_suppress_multi_ids_one_comment;
+    Alcotest.test_case "two suppression markers on one line" `Quick
+      test_suppress_two_markers_same_line;
+    Alcotest.test_case "suppression under CRLF line endings" `Quick
+      test_suppress_crlf;
+    Alcotest.test_case "--format json round-trips file/line/rule" `Quick
+      test_json_format_round_trip;
+    Alcotest.test_case "R9 flags a cross-module chain to Random" `Quick
+      test_r9_interprocedural_chain;
+    Alcotest.test_case "R9 suppressed and clean fixtures are quiet" `Quick
+      test_r9_suppressed_and_clean;
+    Alcotest.test_case "R10 flags a tuple in a hot loop" `Quick
+      test_r10_hot_alloc;
+    Alcotest.test_case "R10 --only run on a seeded engine kernel" `Quick
+      test_r10_seeded_kernel;
+    Alcotest.test_case "R11 flags unsafe writes under Pool closures" `Quick
+      test_r11_domain_race;
+    Alcotest.test_case "R9 JSON finding carries its chain" `Quick
+      test_json_chain_field;
   ]

@@ -7,11 +7,24 @@ type t = {
   line : int;  (** 1-based *)
   col : int;  (** 0-based, matching compiler convention *)
   msg : string;
+  chain : string list;
+      (** interprocedural witness, outermost first (R9/R11); [] otherwise *)
 }
 
 let make ~rule ~name ~file (loc : Location.t) msg =
   let p = loc.loc_start in
-  { rule; name; file; line = p.pos_lnum; col = p.pos_cnum - p.pos_bol; msg }
+  {
+    rule;
+    name;
+    file;
+    line = p.pos_lnum;
+    col = p.pos_cnum - p.pos_bol;
+    msg;
+    chain = [];
+  }
+
+let make_at ~rule ~name ~file ~line ~col ?(chain = []) msg =
+  { rule; name; file; line; col; msg; chain }
 
 let order a b =
   match String.compare a.file b.file with
@@ -26,3 +39,28 @@ let order a b =
 
 let to_string f =
   Printf.sprintf "%s:%d:%d: [%s %s] %s" f.file f.line f.col f.rule f.name f.msg
+
+(* JSON shape for the rumor-lint/1 document (see the driver): the chain
+   field is present only when the finding carries one. *)
+let to_json f : Rumor_obs.Json.t =
+  let base =
+    [
+      ("file", Rumor_obs.Json.String f.file);
+      ("line", Rumor_obs.Json.Int f.line);
+      ("col", Rumor_obs.Json.Int f.col);
+      ("rule", Rumor_obs.Json.String f.rule);
+      ("name", Rumor_obs.Json.String f.name);
+      ("message", Rumor_obs.Json.String f.msg);
+    ]
+  in
+  let chain =
+    match f.chain with
+    | [] -> []
+    | steps ->
+        [
+          ( "chain",
+            Rumor_obs.Json.List
+              (List.map (fun s -> Rumor_obs.Json.String s) steps) );
+        ]
+  in
+  Rumor_obs.Json.Obj (base @ chain)

@@ -7,14 +7,32 @@ type t = {
   line : int;  (** 1-based *)
   col : int;  (** 0-based, matching compiler convention *)
   msg : string;
+  chain : string list;
+      (** interprocedural witness, outermost first (R9/R11); [] otherwise *)
 }
 
 val make :
   rule:string -> name:string -> file:string -> Location.t -> string -> t
-(** Build a finding at the start position of [loc]. *)
+(** Build a finding at the start position of [loc] (empty chain). *)
+
+val make_at :
+  rule:string ->
+  name:string ->
+  file:string ->
+  line:int ->
+  col:int ->
+  ?chain:string list ->
+  string ->
+  t
+(** Build a finding from explicit coordinates (the typed rules work from
+    Summary positions, not compiler locations). *)
 
 val order : t -> t -> int
 (** Sort by file, then line, then column, then rule id. *)
 
 val to_string : t -> string
 (** ["file:line:col: [R1 poly-compare] message"] *)
+
+val to_json : t -> Rumor_obs.Json.t
+(** The finding object of the rumor-lint/1 JSON document; [chain] is
+    included only when non-empty. *)

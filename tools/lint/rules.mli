@@ -3,3 +3,14 @@
 val all : Rule.t list
 (** All registered rules, in id order: R1 poly-compare, R2 no-global-random,
     R3 no-stdout-in-lib, R4 mli-required, R5 no-obj-magic, R6 no-catchall. *)
+
+(** {1 Shared vocabulary} — reused by the typed layer (Effects, Typed_rules). *)
+
+val stdout_idents : string list list
+(** The dotted idents R3 treats as printing to stdout. *)
+
+val under_par : Rule.ctx -> bool
+(** The path has a [lib/par/] component: R7's sanctioned concurrency layer. *)
+
+val under_obs : Rule.ctx -> bool
+(** The path has a [lib/obs/] component: R8's sanctioned wall-clock layer. *)

@@ -5,7 +5,11 @@
 
    Parses every .ml/.mli it is given (directories are walked recursively)
    with compiler-libs and runs the rule registry over each implementation.
-   Exit codes mirror rumor_report's contract:
+   With --typed (or --only naming a typed rule) it additionally loads the
+   .cmt files under --cmt-root, builds the interprocedural effect fixpoint
+   (see Effects) and runs the typedtree rules R9-R11 over every input file
+   whose digest matches a compiled module. Exit codes mirror rumor_report's
+   contract:
 
      0  clean
      1  at least one finding
@@ -20,12 +24,17 @@ let usage = "rumor_lint [options] <file-or-dir>...\noptions:"
 (* CLI state                                                          *)
 (* ------------------------------------------------------------------ *)
 
+type format = Text | Json
+
 let root = ref "."
 let forced_scope = ref None
 let only = ref None
 let except = ref []
 let excludes = ref []
 let list_rules = ref false
+let typed = ref false
+let cmt_root = ref None
+let format = ref Text
 let paths = ref []
 
 let set_scope s =
@@ -33,28 +42,43 @@ let set_scope s =
   | Some sc -> forced_scope := Some sc
   | None -> raise (Arg.Bad (Printf.sprintf "unknown scope %S" s))
 
+let set_format s =
+  match s with
+  | "text" -> format := Text
+  | "json" -> format := Json
+  | _ -> raise (Arg.Bad (Printf.sprintf "unknown format %S (text|json)" s))
+
 let rule_tokens s =
   String.split_on_char ',' s
   |> List.concat_map (String.split_on_char ' ')
   |> List.filter (fun t -> t <> "")
   |> List.map String.lowercase_ascii
 
-let matches_token (r : Rule.t) tokens =
-  List.mem (String.lowercase_ascii r.id) tokens
-  || List.mem (String.lowercase_ascii r.name) tokens
+(* Both registries, as (id, name) keys, for --only/--except validation. *)
+let registry_keys =
+  List.map (fun (r : Rule.t) -> (r.id, r.name)) Rules.all
+  @ List.map (fun (r : Typed_rules.t) -> (r.id, r.name)) Typed_rules.all
+
+let key_matches (id, name) tokens =
+  List.mem (String.lowercase_ascii id) tokens
+  || List.mem (String.lowercase_ascii name) tokens
+
+let matches_token (r : Rule.t) tokens = key_matches (r.id, r.name) tokens
+
+let typed_matches_token (r : Typed_rules.t) tokens =
+  key_matches (r.id, r.name) tokens
 
 let set_only s =
   let wanted = rule_tokens s in
-  let selected = List.filter (fun r -> matches_token r wanted) Rules.all in
-  match selected with
-  | [] -> raise (Arg.Bad (Printf.sprintf "--only %s selects no rules" s))
-  | _ :: _ -> only := Some selected
+  if not (List.exists (fun k -> key_matches k wanted) registry_keys) then
+    raise (Arg.Bad (Printf.sprintf "--only %s selects no rules" s));
+  only := Some wanted
 
 let set_except s =
   let wanted = rule_tokens s in
   List.iter
     (fun w ->
-      if not (List.exists (fun r -> matches_token r [ w ]) Rules.all) then
+      if not (List.exists (fun k -> key_matches k [ w ]) registry_keys) then
         raise (Arg.Bad (Printf.sprintf "--except %s names no rule" w)))
     wanted;
   except := wanted @ !except
@@ -76,7 +100,18 @@ let spec =
       "IDS skip these rules (comma-separated ids or names; repeatable)" );
     ( "--exclude",
       Arg.String (fun s -> excludes := s :: !excludes),
-      "SUB skip paths containing SUB (repeatable)" );
+      "SUB skip paths containing SUB (repeatable; scratch/, examples/ and \
+       lint_fixtures/ are always skipped unless named explicitly)" );
+    ( "--typed",
+      Arg.Set typed,
+      " run the typedtree rules (R9-R11) against the cmts under --cmt-root" );
+    ( "--cmt-root",
+      Arg.String (fun s -> cmt_root := Some s),
+      "DIR where to discover .cmt files (default: _build/default if present, \
+       else .)" );
+    ( "--format",
+      Arg.String set_format,
+      "F output format: text (default) or json (a rumor-lint/1 document)" );
     ("--list-rules", Arg.Set list_rules, " print the rule table and exit");
   ]
 
@@ -95,12 +130,18 @@ let excluded path =
   in
   List.exists has_sub !excludes
 
+(* Directory entries never linted unless passed as an explicit root:
+   scratch/ and examples/ are demo code outside the discipline, and
+   lint_fixtures/ is a corpus of deliberate offenders. *)
+let default_skip = [ "scratch"; "examples"; "lint_fixtures" ]
+
 let rec walk path acc =
   if excluded path then acc
   else if Sys.is_directory path then
     Sys.readdir path |> Array.to_list
     |> List.filter (fun name ->
-           (not (String.length name > 0 && (name.[0] = '_' || name.[0] = '.'))))
+           (not (String.length name > 0 && (name.[0] = '_' || name.[0] = '.')))
+           && not (List.mem name default_skip))
     |> List.fold_left (fun acc name -> walk (Filename.concat path name) acc) acc
   else if is_source path then path :: acc
   else acc
@@ -142,8 +183,17 @@ let scope_of_path path =
           | None -> Rule.Other)
       | _ -> Rule.Other)
 
+let ctx_of_path path =
+  {
+    Rule.path;
+    scope = scope_of_path path;
+    mli_exists =
+      Filename.check_suffix path ".ml"
+      && Sys.file_exists (Filename.remove_extension path ^ ".mli");
+  }
+
 (* ------------------------------------------------------------------ *)
-(* Linting one file                                                   *)
+(* Linting one file (parsetree rules)                                 *)
 (* ------------------------------------------------------------------ *)
 
 type outcome = Findings of Finding.t list | Failed of string
@@ -182,15 +232,7 @@ let lint_file rules path =
       match parsed with
       | Error msg -> Failed msg
       | Ok structures ->
-          let ctx =
-            {
-              Rule.path;
-              scope = scope_of_path path;
-              mli_exists =
-                Filename.check_suffix path ".ml"
-                && Sys.file_exists (Filename.remove_extension path ^ ".mli");
-            }
-          in
+          let ctx = ctx_of_path path in
           let suppressions = Suppress.scan source in
           let findings =
             List.concat_map
@@ -208,19 +250,133 @@ let lint_file rules path =
           Findings findings)
 
 (* ------------------------------------------------------------------ *)
+(* The typed pass (R9-R11 over cmts)                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Inputs are matched to compiled modules by source digest, so the pass
+   is immune to path spelling differences between the walk and the cmts
+   (workspace root vs _build/default). A file with no matching cmt is
+   skipped: only compiled code can be analyzed. *)
+let typed_pass trules files =
+  let croot =
+    match !cmt_root with
+    | Some d -> d
+    | None ->
+        let d = Filename.concat "_build" "default" in
+        if Sys.file_exists d && Sys.is_directory d then d else "."
+  in
+  let summaries = Cmt_loader.load_all croot in
+  let sup_cache = Hashtbl.create 32 in
+  let suppress_for source =
+    match Hashtbl.find_opt sup_cache source with
+    | Some s -> s
+    | None ->
+        let s =
+          if source <> "" && Sys.file_exists source then
+            match read_file source with
+            | src -> Some (Suppress.scan src)
+            | exception Sys_error _ -> None
+          else None
+        in
+        Hashtbl.add sup_cache source s;
+        s
+  in
+  let env = Effects.build summaries ~suppress_for in
+  let matched = ref 0 in
+  let findings =
+    List.concat_map
+      (fun path ->
+        if not (Filename.check_suffix path ".ml") then []
+        else
+          match Digest.file path with
+          | exception Sys_error _ -> []
+          | digest -> (
+              match
+                Effects.summary_for_digest env (Digest.to_hex digest)
+              with
+              | None -> []
+              | Some summary -> (
+                  incr matched;
+                  match read_file path with
+                  | exception Sys_error _ -> []
+                  | source ->
+                      let ctx = ctx_of_path path in
+                      let suppressions = Suppress.scan source in
+                      let tc =
+                        {
+                          Typed_rules.rctx = ctx;
+                          summary;
+                          env;
+                          hot_lines = Suppress.hot_lines source;
+                        }
+                      in
+                      List.concat_map
+                        (fun (r : Typed_rules.t) ->
+                          if r.applies ctx then r.check tc else [])
+                        trules
+                      |> List.filter (fun (f : Finding.t) ->
+                             not
+                               (Suppress.allows suppressions ~line:f.line
+                                  ~id:f.rule ~name:f.name)))))
+      files
+  in
+  if !matched = 0 && List.exists (fun p -> Filename.check_suffix p ".ml") files
+  then
+    Printf.eprintf
+      "rumor_lint: note: typed rules matched no inputs under cmt root %s \
+       (run `dune build @check` first?)\n"
+      croot;
+  findings
+
+(* ------------------------------------------------------------------ *)
+(* Output                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let print_text findings errors =
+  List.iter (fun f -> print_endline (Finding.to_string f)) findings;
+  List.iter
+    (fun (path, msg) -> Printf.eprintf "rumor_lint: %s: %s\n" path msg)
+    errors
+
+let print_json findings errors =
+  let doc =
+    Rumor_obs.Json.Obj
+      [
+        ("schema", Rumor_obs.Json.String "rumor-lint/1");
+        ("findings", Rumor_obs.Json.List (List.map Finding.to_json findings));
+        ( "errors",
+          Rumor_obs.Json.List
+            (List.map
+               (fun (path, msg) ->
+                 Rumor_obs.Json.Obj
+                   [
+                     ("file", Rumor_obs.Json.String path);
+                     ("message", Rumor_obs.Json.String msg);
+                   ])
+               errors) );
+      ]
+  in
+  print_endline (Rumor_obs.Json.to_string_json doc);
+  List.iter
+    (fun (path, msg) -> Printf.eprintf "rumor_lint: %s: %s\n" path msg)
+    errors
+
+(* ------------------------------------------------------------------ *)
 (* Main                                                               *)
 (* ------------------------------------------------------------------ *)
 
 let print_rule_table () =
+  let bin_ctx = { Rule.path = ""; scope = Rule.Bin; mli_exists = true } in
   List.iter
     (fun (r : Rule.t) ->
-      let scopes =
-        if r.applies { Rule.path = ""; scope = Rule.Bin; mli_exists = true }
-        then "everywhere"
-        else "lib/ only"
-      in
-      Printf.printf "%s  %-18s %-10s %s\n" r.id r.name scopes r.doc)
-    Rules.all
+      let scopes = if r.applies bin_ctx then "everywhere" else "lib/ only" in
+      Printf.printf "%s  %-20s %-10s %s\n" r.id r.name scopes r.doc)
+    Rules.all;
+  List.iter
+    (fun (r : Typed_rules.t) ->
+      let scopes = if r.applies bin_ctx then "everywhere" else "lib/ only" in
+      Printf.printf "%s %-20s %-10s (typed) %s\n" r.id r.name scopes r.doc)
+    Typed_rules.all
 
 let () =
   Arg.parse spec (fun p -> paths := p :: !paths) usage;
@@ -233,9 +389,27 @@ let () =
         "rumor_lint: no inputs (try: rumor_lint lib bin bench test)";
       exit 2
   | _ :: _ -> ());
-  let rules =
-    (match !only with Some rs -> rs | None -> Rules.all)
+  let parse_rules =
+    (match !only with
+    | Some toks -> List.filter (fun r -> matches_token r toks) Rules.all
+    | None -> Rules.all)
     |> List.filter (fun r -> not (matches_token r !except))
+  in
+  let typed_enabled =
+    !typed
+    || match !only with
+       | Some toks ->
+           List.exists (fun r -> typed_matches_token r toks) Typed_rules.all
+       | None -> false
+  in
+  let typed_rules =
+    if not typed_enabled then []
+    else
+      (match !only with
+      | Some toks ->
+          List.filter (fun r -> typed_matches_token r toks) Typed_rules.all
+      | None -> Typed_rules.all)
+      |> List.filter (fun r -> not (typed_matches_token r !except))
   in
   let files =
     match collect_files (List.rev !paths) with
@@ -247,16 +421,21 @@ let () =
   let findings, errors =
     List.fold_left
       (fun (fs, errs) path ->
-        match lint_file rules path with
+        match lint_file parse_rules path with
         | Findings f -> (f @ fs, errs)
         | Failed msg -> (fs, (path, msg) :: errs))
       ([], []) files
   in
+  let findings =
+    match typed_rules with
+    | [] -> findings
+    | _ :: _ -> typed_pass typed_rules files @ findings
+  in
   let findings = List.sort Finding.order findings in
-  List.iter (fun f -> print_endline (Finding.to_string f)) findings;
-  List.iter
-    (fun (path, msg) -> Printf.eprintf "rumor_lint: %s: %s\n" path msg)
-    (List.rev errors);
+  let errors = List.rev errors in
+  (match !format with
+  | Text -> print_text findings errors
+  | Json -> print_json findings errors);
   let n = List.length findings in
   if n > 0 then
     Printf.eprintf "rumor_lint: %d finding%s in %d file%s\n" n

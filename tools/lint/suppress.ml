@@ -43,26 +43,33 @@ let tokens_after line start =
   in
   loop [] start
 
-let find_marker line =
+let find_marker line from =
   let n = String.length line and m = String.length marker in
   let rec search i =
     if i + m > n then None
     else if String.sub line i m = marker then Some (i + m)
     else search (i + 1)
   in
-  search 0
+  if from > n then None else search from
+
+(* All markers on the line, not just the first: two comments like
+   [(* lint: allow R5 — a *) (* lint: allow R1 — b *)] each contribute
+   their rule list. *)
+let rec markers_from line from acc =
+  match find_marker line from with
+  | None -> List.rev acc
+  | Some start -> markers_from line start (start :: acc)
 
 let scan source : t =
   let table = Hashtbl.create 8 in
   let lines = String.split_on_char '\n' source in
   List.iteri
     (fun idx line ->
-      match find_marker line with
-      | None -> ()
-      | Some start -> (
-          match tokens_after line start with
-          | [] -> ()
-          | toks -> Hashtbl.replace table (idx + 1) toks))
+      match
+        List.concat_map (tokens_after line) (markers_from line 0 [])
+      with
+      | [] -> ()
+      | toks -> Hashtbl.replace table (idx + 1) toks)
     lines;
   table
 
@@ -75,3 +82,23 @@ let allows table ~line ~id ~name =
         || List.mem (String.lowercase_ascii name) toks
   in
   hit line || hit (line - 1)
+
+(* Hot-path markers for R10: a line containing [(* lint: hot *)] marks the
+   definition starting on that line or the next one. *)
+
+let hot_marker = "lint: hot"
+
+let hot_lines source : int list =
+  let m = String.length hot_marker in
+  let hits = ref [] in
+  List.iteri
+    (fun idx line ->
+      let n = String.length line in
+      let rec search i =
+        if i + m > n then ()
+        else if String.sub line i m = hot_marker then hits := (idx + 1) :: !hits
+        else search (i + 1)
+      in
+      search 0)
+    (String.split_on_char '\n' source);
+  List.rev !hits

@@ -10,3 +10,8 @@ val scan : string -> t
 val allows : t -> line:int -> id:string -> name:string -> bool
 (** [allows t ~line ~id ~name] is true when a suppression for rule [id] (or
     its short [name], case-insensitive) covers [line]. *)
+
+val hot_lines : string -> int list
+(** 1-based line numbers carrying a [(* lint: hot *)] marker; a marker on a
+    definition's first line or the line above it opts that definition into
+    R10's no-allocation-in-loops check. *)
