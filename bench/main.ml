@@ -319,11 +319,139 @@ let run_engine_bench ?trace ~scale ~push_scale ~shards () =
   base @ demo
 
 (* ------------------------------------------------------------------ *)
+(* Part 5: DES scheduler throughput (heap vs calendar queue)           *)
+(* ------------------------------------------------------------------ *)
+
+(* Brown's classic hold-model benchmark: prefill the queue with n pending
+   events, then time pop+reschedule cycles at steady state — exactly the
+   access pattern of the async kernels, which reschedule the popped clock
+   on (almost) every ring.  Exp(1) gaps are pre-drawn so the numbers
+   isolate the scheduler from the sampler; each entry's time_ns is ns per
+   hold operation, so `rumor_report compare` ratios read directly as
+   scheduler speedups. *)
+module Hold (Q : Rumor_des.Queue_intf.S) = struct
+  let run ~n ~ops =
+    let rng = Rng.of_int 4242 in
+    let gaps = Array.init ops (fun _ -> Rumor_prob.Dist.exponential rng 1.0) in
+    let q = Q.create () in
+    for i = 0 to n - 1 do
+      Q.push q (Rumor_prob.Dist.exponential rng 1.0) i
+    done;
+    let slot = ref 0 in
+    let t0 = Clock.now_s () in
+    for i = 0 to ops - 1 do
+      let t = Q.pop_into q slot in
+      Q.push q (t +. Array.unsafe_get gaps i) !slot
+    done;
+    let dt_ns = Clock.elapsed_ns ~since_s:t0 in
+    (dt_ns /. float_of_int ops, q)
+end
+
+module Hold_heap = Hold (Rumor_des.Event_queue)
+module Hold_calendar = Hold (Rumor_des.Calendar_queue)
+
+let mev_per_s ns_per_op = 1e3 /. ns_per_op
+
+let run_des_bench ?trace ~scale ~push_scale () =
+  print_endline "=====================================================================";
+  print_endline " Part 5: DES scheduler (hold model, heap vs calendar queue)";
+  print_endline "=====================================================================";
+  let module Calendar_queue = Rumor_des.Calendar_queue in
+  let sizes = List.filter (fun n -> n <= scale) [ 10_000; 100_000; 1_000_000 ] in
+  let ops = 1_000_000 in
+  let hold_entries, hold_meta =
+    List.split
+      (List.map
+         (fun n ->
+           let heap_ns, _ = Hold_heap.run ~n ~ops in
+           let cal_ns, q = Hold_calendar.run ~n ~ops in
+           let s = Calendar_queue.stats q in
+           Printf.printf
+             "hold n=%-9d heap %6.1f ns/ev (%5.1f Mev/s)   calendar %6.1f \
+              ns/ev (%5.1f Mev/s)   speedup %.2fx   (%d resizes, %d buckets, \
+              width %.3g)\n"
+             n heap_ns (mev_per_s heap_ns) cal_ns (mev_per_s cal_ns)
+             (heap_ns /. cal_ns) s.Calendar_queue.resizes
+             s.Calendar_queue.buckets s.Calendar_queue.width;
+           ( [
+               entry (Printf.sprintf "des/hold/heap/n-%d" n) heap_ns;
+               entry (Printf.sprintf "des/hold/calendar/n-%d" n) cal_ns;
+             ],
+             [
+               ( Printf.sprintf "des/hold/calendar/n-%d/resizes" n,
+                 string_of_int s.Calendar_queue.resizes );
+               ( Printf.sprintf "des/hold/calendar/n-%d/buckets" n,
+                 string_of_int s.Calendar_queue.buckets );
+               ( Printf.sprintf "des/hold/calendar/n-%d/width" n,
+                 Printf.sprintf "%.6g" s.Calendar_queue.width );
+             ] ))
+         sizes)
+  in
+  (* end-to-end demonstration: asynchronous push over the full DES engine at
+     paper scale, one run per queue backend (results are bit-identical, so
+     the ratio is pure scheduler) *)
+  let push_entries, push_meta =
+    if push_scale <= 0 then ([], [])
+    else begin
+      let t0 = Clock.now_s () in
+      let g = engine_graph ~seed:4048 push_scale in
+      let build_ns = Clock.elapsed_ns ~since_s:t0 in
+      Printf.printf "er:%d — %d edges, built in %s\n" push_scale
+        (Rumor_graph.Graph.num_edges g)
+        (human_ns build_ns);
+      let timed queue =
+        let t0 = Clock.now_s () in
+        let stats = ref None in
+        let r =
+          P.Async_engine.push ?trace ~queue ~stats (Rng.of_int 35) g
+            ~variant:P.Async_push.Async_push ~source:0 ~max_time:1e6
+        in
+        (Clock.elapsed_ns ~since_s:t0, r, !stats)
+      in
+      let heap_ns, heap_r, _ = timed P.Async_engine.Heap in
+      let cal_ns, cal_r, cal_stats = timed P.Async_engine.Calendar in
+      assert (heap_r = cal_r);
+      let rings = float_of_int (max cal_r.P.Async_push.rings 1) in
+      Printf.printf
+        "async-push er:%d   heap %s (%.1f ns/ring)   calendar %s (%.1f \
+         ns/ring)   %d rings, informed %d\n"
+        push_scale (human_ns heap_ns) (heap_ns /. rings) (human_ns cal_ns)
+        (cal_ns /. rings) cal_r.P.Async_push.rings cal_r.P.Async_push.informed;
+      ( [
+          entry
+            (Printf.sprintf "des/async-push/graph-build/er-%d" push_scale)
+            build_ns;
+          entry (Printf.sprintf "des/async-push/heap/er-%d" push_scale) heap_ns;
+          entry
+            (Printf.sprintf "des/async-push/calendar/er-%d" push_scale)
+            cal_ns;
+          entry
+            (Printf.sprintf "des/async-push/calendar/er-%d/ns-per-ring"
+               push_scale)
+            (cal_ns /. rings);
+        ],
+        match cal_stats with
+        | None -> []
+        | Some s ->
+            [
+              ( Printf.sprintf "des/async-push/er-%d/resizes" push_scale,
+                string_of_int s.Calendar_queue.resizes );
+              ( Printf.sprintf "des/async-push/er-%d/buckets" push_scale,
+                string_of_int s.Calendar_queue.buckets );
+              ( Printf.sprintf "des/async-push/er-%d/width" push_scale,
+                Printf.sprintf "%.6g" s.Calendar_queue.width );
+            ] )
+    end
+  in
+  (List.concat hold_entries @ push_entries, List.concat hold_meta @ push_meta)
+
+(* ------------------------------------------------------------------ *)
 
 open Cmdliner
 
-let main full tables_only micro_only engine_only seed metrics bench_json jobs
-    engine_scale engine_push_scale shards trace_path =
+let main full tables_only micro_only engine_only des_only seed metrics
+    bench_json jobs engine_scale engine_push_scale des_scale des_push_scale
+    shards trace_path =
   if jobs < 0 then begin
     Printf.eprintf "bench: bad --jobs %d (want >= 0; 0 = all cores)\n" jobs;
     exit 2
@@ -335,7 +463,7 @@ let main full tables_only micro_only engine_only seed metrics bench_json jobs
   let profile = if full then Experiments.Full else Experiments.Quick in
   let trace = Option.map (fun _ -> Trace.create ()) trace_path in
   let t0 = Clock.now_s () in
-  if (not micro_only) && not engine_only then begin
+  if (not micro_only) && (not engine_only) && not des_only then begin
     match metrics with
     | None -> run_tables ?trace ~jobs profile ~seed
     | Some path ->
@@ -343,26 +471,35 @@ let main full tables_only micro_only engine_only seed metrics bench_json jobs
             run_tables ~metrics:sink ?trace ~jobs profile ~seed);
         Printf.printf "wrote per-replicate metrics to %s\n" path
   end;
-  if (not tables_only) || engine_only then begin
+  if (not tables_only) || engine_only || des_only then begin
     let entries =
-      if engine_only then []
+      if engine_only || des_only then []
       else run_micro () @ run_macro ?trace ~jobs ()
     in
     let engine_entries =
-      if engine_only || engine_scale > 0 then
+      if (not des_only) && (engine_only || engine_scale > 0) then
         run_engine_bench ?trace
           ~scale:(if engine_scale > 0 then engine_scale else 200_000)
           ~push_scale:engine_push_scale ~shards ()
       else []
     in
-    let entries = entries @ engine_entries in
+    let des_entries, meta =
+      if des_only || des_scale > 0 then
+        run_des_bench ?trace
+          ~scale:(if des_scale > 0 then des_scale else 1_000_000)
+          ~push_scale:des_push_scale ()
+      else ([], [])
+    in
+    let entries = entries @ engine_entries @ des_entries in
     let path =
       Option.value bench_json
         ~default:
           (if engine_only then Printf.sprintf "BENCH_%d_engine.json" seed
+           else if des_only then Printf.sprintf "BENCH_%d_des.json" seed
            else Printf.sprintf "BENCH_%d.json" seed)
     in
-    Rumor_obs.Bench_record.save path { Rumor_obs.Bench_record.seed; jobs; entries };
+    Rumor_obs.Bench_record.save path
+      { Rumor_obs.Bench_record.seed; jobs; meta; entries };
     Printf.printf "\nwrote microbenchmark snapshot to %s\n" path
   end;
   (match (trace, trace_path) with
@@ -390,6 +527,16 @@ let engine_only_arg =
            engine/* entries to the snapshot (default \
            BENCH_<seed>_engine.json).")
 
+let des_only_arg =
+  Arg.(
+    value & flag
+    & info [ "des-only" ]
+        ~doc:
+          "Run only the DES scheduler bench (Part 5: hold model heap vs \
+           calendar, plus the async-push end-to-end run when \
+           --des-push-scale is set) and write its des/* entries to the \
+           snapshot (default BENCH_<seed>_des.json).")
+
 let engine_scale_arg =
   Arg.(
     value & opt int 0
@@ -406,6 +553,24 @@ let engine_push_scale_arg =
         ~doc:
           "Also run a push-only engine demonstration at this vertex count \
            (e.g. 10000000); 0 (default) skips it.")
+
+let des_scale_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "des-scale" ] ~docv:"N"
+        ~doc:
+          "Largest hold-model prefill for the DES bench (sizes 10^4, 10^5, \
+           10^6 up to $(docv)); 0 (default) skips Part 5 unless --des-only \
+           is given, which then uses 1000000.")
+
+let des_push_scale_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "des-push-scale" ] ~docv:"N"
+        ~doc:
+          "Also run the async-push DES engine end to end on G(n, 1.25 ln n \
+           / n) at this vertex count, once per queue backend (e.g. \
+           1000000); 0 (default) skips it.")
 
 let shards_arg =
   Arg.(
@@ -462,7 +627,8 @@ let cmd =
     (Cmd.info "bench" ~doc)
     Term.(
       const main $ full_arg $ tables_only_arg $ micro_only_arg $ engine_only_arg
-      $ seed_arg $ metrics_arg $ bench_json_arg $ jobs_arg $ engine_scale_arg
-      $ engine_push_scale_arg $ shards_arg $ trace_arg)
+      $ des_only_arg $ seed_arg $ metrics_arg $ bench_json_arg $ jobs_arg
+      $ engine_scale_arg $ engine_push_scale_arg $ des_scale_arg
+      $ des_push_scale_arg $ shards_arg $ trace_arg)
 
 let () = exit (Cmd.eval cmd)

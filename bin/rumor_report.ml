@@ -239,6 +239,16 @@ let compare_bench (base : Bench_record.t) (current : Bench_record.t) =
        rows);
   List.iter (Printf.printf "missing in new run: %s\n") d.Bench_record.missing;
   List.iter (Printf.printf "new benchmark: %s\n") d.Bench_record.added;
+  (* run metadata (e.g. the DES benches' calendar geometry), old vs new *)
+  let print_meta label (t : Bench_record.t) =
+    match t.Bench_record.meta with
+    | [] -> ()
+    | meta ->
+        Printf.printf "%s meta:\n" label;
+        List.iter (fun (k, v) -> Printf.printf "  %s = %s\n" k v) meta
+  in
+  print_meta "old" base;
+  print_meta "new" current;
   0
 
 let compare_files old_path new_path tolerance_pct =

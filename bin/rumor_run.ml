@@ -34,11 +34,16 @@ let protocol_of_string ~alpha ~laziness name =
   | "cobra" -> Ok (Protocol.cobra ())
   | "frog" -> Ok (Protocol.frog ())
   | "flood" -> Ok Protocol.flood
+  | "async-push" | "apush" -> Ok Protocol.async_push
+  | "async-push-pull" | "apushpull" -> Ok Protocol.async_push_pull
+  | "async-meet-exchange" | "ameetx" ->
+      Ok (Protocol.Async_meet_exchange { agents; laziness })
   | other ->
       Error
         (Printf.sprintf
            "unknown protocol %S (known: push, push-pull, visit-exchange, \
-            meet-exchange, combined, quasi-push, cobra, frog, flood)"
+            meet-exchange, combined, quasi-push, cobra, frog, flood, \
+            async-push, async-push-pull, async-meet-exchange)"
            other)
 
 let laziness_of_string = function
@@ -183,7 +188,12 @@ let graph_arg =
   Arg.(required & opt (some string) None & info [ "g"; "graph" ] ~docv:"SPEC" ~doc)
 
 let protocol_arg =
-  let doc = "Protocol to run (repeatable): push, push-pull, visit-exchange, meet-exchange, combined." in
+  let doc =
+    "Protocol to run (repeatable): push, push-pull, visit-exchange, \
+     meet-exchange, combined, async-push, async-push-pull, \
+     async-meet-exchange, ...  The async-* protocols are continuous-time: \
+     --max-rounds caps their time horizon."
+  in
   Arg.(value & opt_all string [] & info [ "p"; "protocol" ] ~docv:"NAME" ~doc)
 
 let source_arg =
@@ -230,9 +240,10 @@ let jobs_arg =
 
 let engine_arg =
   let doc =
-    "Use the flat-frontier engine kernels (push, push-pull, visit-exchange, \
-     meet-exchange; others fall back).  Bit-identical to the default path \
-     at --shards 1; required for million-node graphs."
+    "Use the flat engine kernels: flat-frontier rounds for push, push-pull, \
+     visit-exchange and meet-exchange, the calendar-queue DES for the \
+     async-* protocols (others fall back).  Bit-identical to the default \
+     path at --shards 1; required for million-node graphs."
   in
   Arg.(value & flag & info [ "engine" ] ~doc)
 

@@ -77,6 +77,29 @@ let pop q =
     Some (top.time, top.payload)
   end
 
+(* Unboxed pop for the engine loop: no [Some (time, payload)] tuple per
+   ring.  NaN is a safe empty sentinel because [push] rejects NaN times. *)
+(* lint: hot *)
+let pop_into q slot =
+  if q.len = 0 then Float.nan
+  else begin
+    let top = q.data.(0) in
+    q.len <- q.len - 1;
+    if q.len > 0 then begin
+      q.data.(0) <- q.data.(q.len);
+      sift_down q 0
+    end;
+    slot := top.payload;
+    top.time
+  end
+
 let peek_time q = if q.len = 0 then None else Some q.data.(0).time
 
-let clear q = q.len <- 0
+(* Dropping the array matters, not just the length: popped slots above
+   [len] keep their entries reachable, so a lazy [clear] would pin every
+   payload of a large finished run until the queue itself dies.  Resetting
+   [next_seq] makes a cleared queue tie-break like a fresh one. *)
+let clear q =
+  q.data <- [||];
+  q.len <- 0;
+  q.next_seq <- 0

@@ -22,7 +22,15 @@ val pop : 'a t -> (float * 'a) option
 (** Remove and return the earliest event, if any.  Events with equal times
     come out in insertion order. *)
 
+val pop_into : 'a t -> 'a ref -> float
+(** Unboxed {!pop} for hot loops: writes the earliest payload into the ref
+    and returns its time, or returns NaN (writing nothing) on an empty
+    queue. *)
+
 val peek_time : 'a t -> float option
 (** Time of the earliest event without removing it. *)
 
 val clear : 'a t -> unit
+(** Drop every pending event, release the payload storage (so a cleared
+    queue retains nothing for the GC), and reset the FIFO tie-break
+    counter. *)

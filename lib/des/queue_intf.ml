@@ -1,0 +1,33 @@
+(* The event-scheduler contract shared by Event_queue (binary heap) and
+   Calendar_queue (calendar buckets).  Kept in its own compilation unit so
+   protocol kernels can be functorized over the queue and the two
+   implementations can be cross-checked drain-for-drain in tests. *)
+
+module type S = sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val is_empty : 'a t -> bool
+  val size : 'a t -> int
+
+  val push : 'a t -> float -> 'a -> unit
+  (** [push q time payload] schedules [payload] at [time].
+      @raise Invalid_argument if [time] is NaN. *)
+
+  val pop : 'a t -> (float * 'a) option
+  (** Remove and return the earliest event, if any.  Events with equal
+      times come out in insertion order (FIFO tie-break). *)
+
+  val pop_into : 'a t -> 'a ref -> float
+  (** Unboxed [pop] for hot loops: writes the earliest payload into the
+      ref and returns its time, or returns NaN (writing nothing) on an
+      empty queue.  Same order as {!pop}. *)
+
+  val peek_time : 'a t -> float option
+  (** Time of the earliest event without removing it. *)
+
+  val clear : 'a t -> unit
+  (** Drop every pending event and release the payload storage; also
+      resets the FIFO tie-break counter, so a cleared queue orders events
+      exactly like a fresh one. *)
+end

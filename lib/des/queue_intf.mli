@@ -1,0 +1,39 @@
+(** Common signature of the DES event schedulers.
+
+    Both {!Event_queue} (binary heap, O(log n) per op) and
+    {!Calendar_queue} (calendar buckets, amortized O(1) per op) implement
+    {!S} with the same observable semantics: events drain in ascending
+    [(time, insertion order)] — same-time events are FIFO — so a DES run
+    is a deterministic function of the inserted events no matter which
+    scheduler backs it.  Protocol kernels functorize over [S]
+    ({!Rumor_protocols.Async_engine}), and the property tests drain both
+    implementations against each other. *)
+
+module type S = sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val is_empty : 'a t -> bool
+  val size : 'a t -> int
+
+  val push : 'a t -> float -> 'a -> unit
+  (** [push q time payload] schedules [payload] at [time].
+      @raise Invalid_argument if [time] is NaN. *)
+
+  val pop : 'a t -> (float * 'a) option
+  (** Remove and return the earliest event, if any.  Events with equal
+      times come out in insertion order (FIFO tie-break). *)
+
+  val pop_into : 'a t -> 'a ref -> float
+  (** Unboxed [pop] for hot loops: writes the earliest payload into the
+      ref and returns its time, or returns NaN (writing nothing) on an
+      empty queue.  Same order as {!pop}. *)
+
+  val peek_time : 'a t -> float option
+  (** Time of the earliest event without removing it. *)
+
+  val clear : 'a t -> unit
+  (** Drop every pending event and release the payload storage; also
+      resets the FIFO tie-break counter, so a cleared queue orders events
+      exactly like a fresh one. *)
+end

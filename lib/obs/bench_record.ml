@@ -1,27 +1,36 @@
 type entry = { name : string; time_ns : float; r_square : float }
-type t = { seed : int; jobs : int; entries : entry list }
+type t = { seed : int; jobs : int; meta : (string * string) list; entries : entry list }
 
 let schema = "rumor-bench/1"
 
 let to_json t =
   Json.to_string_json
     (Json.Obj
-       [
-         ("schema", Json.String schema);
-         ("seed", Json.Int t.seed);
-         ("jobs", Json.Int t.jobs);
-         ( "entries",
-           Json.List
-             (List.map
-                (fun e ->
-                  Json.Obj
-                    [
-                      ("name", Json.String e.name);
-                      ("time_ns", Json.Float e.time_ns);
-                      ("r_square", Json.Float e.r_square);
-                    ])
-                t.entries) );
-       ])
+       ([
+          ("schema", Json.String schema);
+          ("seed", Json.Int t.seed);
+          ("jobs", Json.Int t.jobs);
+        ]
+       @ (match t.meta with
+         | [] -> []
+         | meta ->
+             [
+               ( "meta",
+                 Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) meta) );
+             ])
+       @ [
+           ( "entries",
+             Json.List
+               (List.map
+                  (fun e ->
+                    Json.Obj
+                      [
+                        ("name", Json.String e.name);
+                        ("time_ns", Json.Float e.time_ns);
+                        ("r_square", Json.Float e.r_square);
+                      ])
+                  t.entries) );
+         ]))
 
 let ( let* ) r f = Result.bind r f
 
@@ -53,9 +62,23 @@ let of_json text =
         | Some n -> Ok n
         | None -> Error "field \"jobs\" has the wrong type")
   in
+  (* [meta] is newer still; absent reads back as the empty list *)
+  let* meta =
+    match Json.member "meta" j with
+    | None -> Ok []
+    | Some (Json.Obj fields) ->
+        let rec conv acc = function
+          | [] -> Ok (List.rev acc)
+          | (k, Json.String v) :: rest -> conv ((k, v) :: acc) rest
+          | (k, _) :: _ ->
+              Error (Printf.sprintf "meta field %S is not a string" k)
+        in
+        conv [] fields
+    | Some _ -> Error "field \"meta\" has the wrong type"
+  in
   let* items = field j "entries" Json.to_list in
   let rec go acc = function
-    | [] -> Ok { seed; jobs; entries = List.rev acc }
+    | [] -> Ok { seed; jobs; meta; entries = List.rev acc }
     | item :: rest -> (
         let entry =
           let* name = field item "name" Json.to_string in

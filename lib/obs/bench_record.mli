@@ -16,6 +16,11 @@ type t = {
   jobs : int;
       (** replication parallelism the run used; snapshots written before the
           field existed read back as [1] *)
+  meta : (string * string) list;
+      (** free-form run metadata (e.g. the DES benches record the calendar
+          queue's resize count and final bucket width); emitted only when
+          non-empty, and snapshots written before the field existed read
+          back as [[]] *)
   entries : entry list;
 }
 

@@ -1,0 +1,77 @@
+(** Million-event asynchronous engine: the DES kernels of {!Async_push}
+    and {!Async_meet_exchange} over a calendar-queue scheduler, flat
+    state, and batched Poisson clocks.
+
+    What changes relative to the legacy modules — and what provably
+    cannot change:
+
+    - {b Scheduler}: events live in {!Rumor_des.Calendar_queue}
+      (amortized O(1) per ring) or {!Rumor_des.Event_queue} (O(log n)),
+      selected by [?queue].  Both drain in ascending (time, insertion
+      order), so the backend is unobservable in the results.
+    - {b Clocks}: Exp(1) gaps are pre-drawn [batch] at a time
+      ({!Rumor_des.Exp_stream}) from a clock generator split off [rng]
+      up front — the clock-stream contract documented in {!Async_push}.
+      The k-th scheduled gap is the clock stream's k-th sample whatever
+      the batch, so results are batch-independent.
+    - {b State}: informed sets are {!Bitset}s, the event loop pops
+      through [pop_into] (no per-ring boxing), and meet-exchange keeps
+      its per-vertex agent sets as intrusive int-array lists replicating
+      the legacy cons-list order move for move.
+
+    Consequently a run here is bit-identical — broadcast time, ring
+    count, integer-mark curve, and the full [?obs] contact/walker-move
+    stream — to the legacy module's run on the same seed, for every
+    [?queue] and [?batch].  test/test_async_engine.ml and a CI diff step
+    enforce this.
+
+    [?trace] mirrors the legacy instrumentation: one
+    ["async_engine.<kernel>.loop"] span, ["queue"]/["informed"] counter
+    samples every 1024 rings, and a final ["rings"] registry total; it
+    never consumes randomness. *)
+
+type queue =
+  | Heap  (** {!Rumor_des.Event_queue}: no resize machinery, better
+              constants on small/short-lived runs *)
+  | Calendar  (** {!Rumor_des.Calendar_queue}: amortized O(1), the
+                  default and the million-node choice *)
+
+val default_batch : int
+(** Clock pre-draw batch, 4096. *)
+
+val push :
+  ?obs:Rumor_obs.Instrument.t ->
+  ?trace:Rumor_obs.Trace.t ->
+  ?queue:queue ->
+  ?batch:int ->
+  ?stats:Rumor_des.Calendar_queue.stats option ref ->
+  Rumor_prob.Rng.t ->
+  Rumor_graph.Graph.t ->
+  variant:Async_push.variant ->
+  source:int ->
+  max_time:float ->
+  Async_push.result
+(** Engine counterpart of {!Async_push.run}; bit-identical to it on the
+    same seed.  [?stats] (when provided) receives the calendar queue's
+    final geometry, or [None] under [?queue:Heap].
+    @raise Invalid_argument on a bad source, non-positive [max_time] or
+    [batch < 1]. *)
+
+val meet_exchange :
+  ?obs:Rumor_obs.Instrument.t ->
+  ?trace:Rumor_obs.Trace.t ->
+  ?lazy_walk:bool ->
+  ?queue:queue ->
+  ?batch:int ->
+  ?stats:Rumor_des.Calendar_queue.stats option ref ->
+  Rumor_prob.Rng.t ->
+  Rumor_graph.Graph.t ->
+  source:int ->
+  agents:Rumor_agents.Placement.spec ->
+  max_time:float ->
+  Async_meet_exchange.result
+(** Engine counterpart of {!Async_meet_exchange.run}; bit-identical to it
+    on the same seed.  An omitted [lazy_walk] resolves to the graph's
+    bipartiteness, like the legacy module.
+    @raise Invalid_argument on a bad source, non-positive [max_time] or
+    [batch < 1]. *)

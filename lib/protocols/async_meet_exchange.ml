@@ -14,7 +14,16 @@ type result = {
   rings : int;
   informed : int;
   agents : int;
+  curve : int array;
 }
+
+let to_run_result r =
+  let broadcast_time =
+    Option.map (fun t -> int_of_float (Float.ceil t)) r.broadcast_time
+  in
+  Run_result.make ~all_agents_informed:broadcast_time ~broadcast_time
+    ~rounds_run:(Array.length r.curve - 1)
+    ~informed_curve:r.curve ~contacts:r.informed ()
 
 let run ?obs ?trace ?lazy_walk rng g ~source ~agents ~max_time =
   let n = Graph.n g in
@@ -31,6 +40,11 @@ let run ?obs ?trace ?lazy_walk rng g ~source ~agents ~max_time =
     | Some b -> b
     | None -> Rumor_graph.Algo.is_bipartite g
   in
+  (* Clock-stream contract (see Async_push's mli): split the dedicated
+     clock generator before any other draw.  Placement and walk draws stay
+     on [rng] in event order, clock gaps on [clock] in schedule order —
+     the same consumption order as Async_engine's batched stream. *)
+  let clock = Rng.split rng in
   let pos = Placement.place rng agents g in
   let k = Array.length pos in
   let informed = Array.make k false in
@@ -61,10 +75,13 @@ let run ?obs ?trace ?lazy_walk rng g ~source ~agents ~max_time =
   in
   exchange_at source;
   let queue = Event_queue.create () in
-  let schedule a now = Event_queue.push queue (now +. Dist.exponential rng 1.0) a in
+  let schedule a now = Event_queue.push queue (now +. Dist.exponential clock 1.0) a in
   for a = 0 to k - 1 do
     schedule a 0.0
   done;
+  let curve = Curve_buf.create ~hint:(Async_push.curve_hint max_time) in
+  Curve_buf.push curve !informed_count;
+  let next_mark = ref 1 in
   let rings = ref 0 in
   let finish = ref None in
   let running = ref (!informed_count < k) in
@@ -85,6 +102,7 @@ let run ?obs ?trace ?lazy_walk rng g ~source ~agents ~max_time =
                 Trace.counter tr "queue" (Event_queue.size queue);
                 Trace.counter tr "informed" !informed_count
               end);
+          Async_push.curve_marks curve next_mark ~now ~count:!informed_count;
           let u = pos.(a) in
           let v =
             if lazy_walk && Rng.bool rng then u else Graph.random_neighbor g rng u
@@ -103,6 +121,10 @@ let run ?obs ?trace ?lazy_walk rng g ~source ~agents ~max_time =
           else schedule a now
         end
   done;
+  let finish = if !informed_count = k && !finish = None then Some 0.0 else !finish in
+  (match finish with
+  | Some f -> ignore (Async_push.curve_finish curve ~finish:f ~count:!informed_count)
+  | None -> Async_push.curve_cap curve next_mark ~max_time ~count:!informed_count);
   (match trace with
   | None -> ()
   | Some tr ->
@@ -111,5 +133,10 @@ let run ?obs ?trace ?lazy_walk rng g ~source ~agents ~max_time =
       Rumor_obs.Counters.add
         (Rumor_obs.Counters.counter (Trace.counters tr) "rings")
         !rings);
-  let finish = if !informed_count = k && !finish = None then Some 0.0 else !finish in
-  { broadcast_time = finish; rings = !rings; informed = !informed_count; agents = k }
+  {
+    broadcast_time = finish;
+    rings = !rings;
+    informed = !informed_count;
+    agents = k;
+    curve = Curve_buf.contents curve;
+  }

@@ -20,6 +20,9 @@ type result = {
   rings : int;
   informed : int;
   agents : int;
+  curve : int array;
+      (** informed-agent count sampled at integer times, in the format of
+          {!Async_push.result}'s curve *)
 }
 
 val run :
@@ -39,4 +42,14 @@ val run :
     [~lazy_walk:false] to study the pure [33]/[34] model on bipartite
     graphs.  The model has no rounds, so [obs] receives [on_walker_move]
     (one per ring) and [on_contact] (one per newly informed agent).
+    Follows the clock-stream contract of {!Async_push}: clock gaps come
+    from a generator split off [rng] up front, placement and walk draws
+    from [rng] itself — so {!Async_engine.meet_exchange} is bit-identical
+    on the same seed.
     @raise Invalid_argument on a bad source or non-positive [max_time]. *)
+
+val to_run_result : result -> Run_result.t
+(** Project onto the synchronous result type, like
+    {!Async_push.to_run_result}; [contacts] counts one contact per newly
+    informed agent and [all_agents_informed] equals the (rounded-up)
+    broadcast time. *)

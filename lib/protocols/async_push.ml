@@ -1,3 +1,4 @@
+module Rng = Rumor_prob.Rng
 module Dist = Rumor_prob.Dist
 module Graph = Rumor_graph.Graph
 module Event_queue = Rumor_des.Event_queue
@@ -24,17 +25,60 @@ type result = {
   broadcast_time : float option;
   rings : int;
   informed : int;
+  curve : int array;
 }
+
+(* Integer-mark curve shared by the legacy loops and Async_engine: the
+   curve value at mark m is the informed count after every event with
+   time <= m.  Marks strictly below the current event's time are emitted
+   just before the event applies (the DES pops in time order, so at that
+   point every earlier event has been processed). *)
+let[@inline] curve_marks curve next_mark ~now ~count =
+  while now > float_of_int !next_mark do
+    Curve_buf.push curve count;
+    incr next_mark
+  done
+
+let curve_hint max_time =
+  if max_time >= 1e15 then max_int else int_of_float (Float.ceil max_time)
+
+(* completion: pad with the final count up to mark ceil(finish) *)
+let curve_finish curve ~finish ~count =
+  let last = int_of_float (Float.ceil finish) in
+  while Curve_buf.length curve < last + 1 do
+    Curve_buf.push curve count
+  done;
+  last
+
+(* cap: every integer mark <= max_time is determined, pad through it *)
+let curve_cap curve next_mark ~max_time ~count =
+  while float_of_int !next_mark <= max_time do
+    Curve_buf.push curve count;
+    incr next_mark
+  done
+
+let to_run_result r =
+  Run_result.make
+    ~broadcast_time:(Option.map (fun t -> int_of_float (Float.ceil t)) r.broadcast_time)
+    ~rounds_run:(Array.length r.curve - 1)
+    ~informed_curve:r.curve ~contacts:r.rings ()
 
 let run ?obs ?trace rng g ~variant ~source ~max_time =
   let n = Graph.n g in
   if source < 0 || source >= n then invalid_arg "Async_push.run: source out of range";
   if not (max_time > 0.0) then invalid_arg "Async_push.run: max_time must be positive";
+  (* Clock-stream contract (see the mli): the first operation on [rng]
+     splits off a dedicated generator for the Poisson clocks.  Every
+     exponential gap comes from [clock] in schedule order and every other
+     draw (neighbor picks) from [rng] in event order, which is exactly the
+     consumption order of Async_engine's batched clock stream — so engine
+     and legacy runs are bit-identical on the same seed. *)
+  let clock = Rng.split rng in
   let informed = Array.make n false in
   let informed_count = ref 1 in
   informed.(source) <- true;
   let queue = Event_queue.create () in
-  let schedule u now = Event_queue.push queue (now +. Dist.exponential rng 1.0) u in
+  let schedule u now = Event_queue.push queue (now +. Dist.exponential clock 1.0) u in
   (* push only needs clocks on informed vertices; push-pull needs everyone *)
   (match variant with
   | Async_push -> schedule source 0.0
@@ -42,6 +86,9 @@ let run ?obs ?trace rng g ~variant ~source ~max_time =
       for u = 0 to n - 1 do
         schedule u 0.0
       done);
+  let curve = Curve_buf.create ~hint:(curve_hint max_time) in
+  Curve_buf.push curve !informed_count;
+  let next_mark = ref 1 in
   let rings = ref 0 in
   let finish_time = ref None in
   let running = ref true in
@@ -57,6 +104,7 @@ let run ?obs ?trace rng g ~variant ~source ~max_time =
           incr rings;
           des_sample trace ~rings:!rings ~queue_size:(Event_queue.size queue)
             ~informed:!informed_count;
+          curve_marks curve next_mark ~now ~count:!informed_count;
           let v = Graph.random_neighbor g rng u in
           Obs.contact obs u v;
           (match variant with
@@ -82,6 +130,9 @@ let run ?obs ?trace rng g ~variant ~source ~max_time =
           else schedule u now
         end
   done;
+  (match !finish_time with
+  | Some f -> ignore (curve_finish curve ~finish:f ~count:!informed_count)
+  | None -> curve_cap curve next_mark ~max_time ~count:!informed_count);
   (match trace with
   | None -> ()
   | Some tr ->
@@ -90,4 +141,9 @@ let run ?obs ?trace rng g ~variant ~source ~max_time =
       Rumor_obs.Counters.add
         (Rumor_obs.Counters.counter (Trace.counters tr) "rings")
         !rings);
-  { broadcast_time = !finish_time; rings = !rings; informed = !informed_count }
+  {
+    broadcast_time = !finish_time;
+    rings = !rings;
+    informed = !informed_count;
+    curve = Curve_buf.contents curve;
+  }

@@ -14,6 +14,9 @@ type spec =
   | Cobra of { branching : int }
   | Frog of { frogs_per_vertex : int }
   | Flood
+  | Async_push
+  | Async_push_pull
+  | Async_meet_exchange of { agents : Placement.spec; laziness : lazy_mode }
 
 let push = Push
 let push_pull = Push_pull
@@ -32,6 +35,12 @@ let meet_exchange ?(alpha = 1.0) () =
 let combined ?(alpha = 1.0) () =
   Combined { agents = Placement.Linear alpha; laziness = Lazy_off }
 
+let async_push = Async_push
+let async_push_pull = Async_push_pull
+
+let async_meet_exchange ?(alpha = 1.0) () =
+  Async_meet_exchange { agents = Placement.Linear alpha; laziness = Lazy_auto }
+
 let name = function
   | Push -> "push"
   | Push_pull -> "push-pull"
@@ -43,6 +52,9 @@ let name = function
   | Cobra _ -> "cobra"
   | Frog _ -> "frog"
   | Flood -> "flood"
+  | Async_push -> "async-push"
+  | Async_push_pull -> "async-push-pull"
+  | Async_meet_exchange _ -> "async-meet-exchange"
 
 let resolve_lazy laziness g =
   match laziness with
@@ -52,6 +64,7 @@ let resolve_lazy laziness g =
 
 let engine_capable = function
   | Push | Push_pull | Visit_exchange _ | Meet_exchange _ -> true
+  | Async_push | Async_push_pull | Async_meet_exchange _ -> true
   | Combined _ | Pull | Quasi_push | Cobra _ | Frog _ | Flood -> false
 
 let run ?traffic ?obs spec rng g ~source ~max_rounds =
@@ -77,6 +90,21 @@ let run ?traffic ?obs spec rng g ~source ~max_rounds =
       (P.Frog.run ?obs ~frogs_per_vertex rng g ~source ~max_rounds ())
         .P.Frog.run_result
   | Flood -> P.Flood.run ?obs g ~source ~max_rounds ()
+  (* the continuous-time processes read [max_rounds] as a time horizon;
+     like Combined they have no bandwidth model, so [traffic] is ignored *)
+  | Async_push ->
+      P.Async_push.to_run_result
+        (P.Async_push.run ?obs rng g ~variant:P.Async_push.Async_push ~source
+           ~max_time:(float_of_int max_rounds))
+  | Async_push_pull ->
+      P.Async_push.to_run_result
+        (P.Async_push.run ?obs rng g ~variant:P.Async_push.Async_push_pull
+           ~source ~max_time:(float_of_int max_rounds))
+  | Async_meet_exchange { agents; laziness } ->
+      let lazy_walk = resolve_lazy laziness g in
+      P.Async_meet_exchange.to_run_result
+        (P.Async_meet_exchange.run ?obs ~lazy_walk rng g ~source ~agents
+           ~max_time:(float_of_int max_rounds))
 
 let run_engine ?traffic ?obs ?trace ?shards ?pool spec rng g ~source
     ~max_rounds =
@@ -98,6 +126,24 @@ let run_engine ?traffic ?obs ?trace ?shards ?pool spec rng g ~source
           let lazy_walk = resolve_lazy laziness g in
           P.Engine.meet_exchange ?traffic ?obs ?trace ~lazy_walk ?shards ?pool
             rng g ~source ~agents ~max_rounds ()
+      (* the DES kernels are sequential: [shards]/[pool] are irrelevant (and
+         ignored), and like [run] the continuous processes have no traffic
+         model.  Bit-identical to [run] either way — see Async_engine. *)
+      | Async_push ->
+          P.Async_push.to_run_result
+            (P.Async_engine.push ?obs ?trace rng g
+               ~variant:P.Async_push.Async_push ~source
+               ~max_time:(float_of_int max_rounds))
+      | Async_push_pull ->
+          P.Async_push.to_run_result
+            (P.Async_engine.push ?obs ?trace rng g
+               ~variant:P.Async_push.Async_push_pull ~source
+               ~max_time:(float_of_int max_rounds))
+      | Async_meet_exchange { agents; laziness } ->
+          let lazy_walk = resolve_lazy laziness g in
+          P.Async_meet_exchange.to_run_result
+            (P.Async_engine.meet_exchange ?obs ?trace ~lazy_walk rng g ~source
+               ~agents ~max_time:(float_of_int max_rounds))
       | (Combined _ | Pull | Quasi_push | Cobra _ | Frog _ | Flood) as other ->
           (* no engine kernel (yet): fall back to the legacy implementation,
              which consumes the rng identically for every [shards] value *)

@@ -18,6 +18,12 @@ type spec =
   | Cobra of { branching : int }  (** coalescing-branching walk, [7] *)
   | Frog of { frogs_per_vertex : int }  (** the frog model, [3, 40] *)
   | Flood  (** deterministic flooding: the eccentricity baseline *)
+  | Async_push  (** continuous-time push: unit-rate Poisson clocks, [41] *)
+  | Async_push_pull  (** continuous-time push-pull *)
+  | Async_meet_exchange of {
+      agents : Rumor_agents.Placement.spec;
+      laziness : lazy_mode;
+    }  (** continuous-time meet-exchange, [33, 34] *)
 
 val push : spec
 val push_pull : spec
@@ -36,9 +42,17 @@ val meet_exchange : ?alpha:float -> unit -> spec
 
 val combined : ?alpha:float -> unit -> spec
 
+val async_push : spec
+val async_push_pull : spec
+
+val async_meet_exchange : ?alpha:float -> unit -> spec
+(** Continuous-time meet-exchange with [Linear alpha] agents (default 1.0)
+    and [Lazy_auto] walks, mirroring {!meet_exchange}. *)
+
 val name : spec -> string
 (** Short stable name: "push", "push-pull", "visit-exchange",
-    "pull", "meet-exchange", "combined", "quasi-push", "cobra", "frog", "flood". *)
+    "pull", "meet-exchange", "combined", "quasi-push", "cobra", "frog",
+    "flood", "async-push", "async-push-pull", "async-meet-exchange". *)
 
 val run :
   ?traffic:Rumor_protocols.Traffic.t ->
@@ -54,11 +68,19 @@ val run :
     the remaining processes ignore it.  [obs] is honoured by every
     protocol: each fires {!Rumor_obs.Instrument} hooks once per round plus
     one [on_contact] per communication (and [on_walker_move] per agent step
-    for the agent-based processes). *)
+    for the agent-based processes).
+
+    The continuous-time specs ([Async_push], [Async_push_pull],
+    [Async_meet_exchange]) read [max_rounds] as the time horizon
+    [max_time = float max_rounds] and project the DES result through
+    [to_run_result]: [broadcast_time] is the rounded-up continuous time,
+    the curve samples the informed count at integer times.  They have no
+    round structure, so [obs] fires no [on_round_start] hooks. *)
 
 val engine_capable : spec -> bool
-(** Whether {!run_engine} has a flat-frontier kernel for this spec (push,
-    push-pull, visit-exchange and meet-exchange). *)
+(** Whether {!run_engine} has a flat kernel for this spec (push,
+    push-pull, visit-exchange, meet-exchange, and the three
+    continuous-time specs via {!Rumor_protocols.Async_engine}). *)
 
 val run_engine :
   ?traffic:Rumor_protocols.Traffic.t ->
@@ -78,7 +100,11 @@ val run_engine :
     is bit-identical to {!run} on the same seed; [shards > 1] re-keys
     randomness per round ({!Rumor_prob.Rng.split_n}, one child per shard)
     and is a pure function of (seed, shards), independent of [?pool]'s
-    parallelism.  Specs without an engine kernel fall back to {!run}.
+    parallelism.  The continuous-time specs dispatch to
+    {!Rumor_protocols.Async_engine} (calendar queue + batched clocks),
+    which is sequential and bit-identical to {!run} on the same seed for
+    every [shards] value ([shards]/[pool] are ignored).  Specs without an
+    engine kernel fall back to {!run}.
     [trace] wraps the whole run in an ["engine.<name>"] span and threads
     through to the kernel's per-round instrumentation
     ({!Rumor_protocols.Engine}); it never changes the result. *)

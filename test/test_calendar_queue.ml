@@ -1,0 +1,199 @@
+(* Tests for Rumor_des.Calendar_queue: the calendar must be drain-for-drain
+   indistinguishable from the binary heap (Queue_intf's determinism
+   contract), on top of the usual scheduler unit tests. *)
+
+module Cal = Rumor_des.Calendar_queue
+module Heap = Rumor_des.Event_queue
+
+(* both schedulers implement the shared signature *)
+module _ : Rumor_des.Queue_intf.S = Rumor_des.Calendar_queue
+module _ : Rumor_des.Queue_intf.S = Rumor_des.Event_queue
+
+let test_empty () =
+  let q : int Cal.t = Cal.create () in
+  Alcotest.(check bool) "empty" true (Cal.is_empty q);
+  Alcotest.(check int) "size 0" 0 (Cal.size q);
+  Alcotest.(check bool) "pop none" true (Cal.pop q = None);
+  Alcotest.(check bool) "peek none" true (Cal.peek_time q = None);
+  let slot = ref 0 in
+  Alcotest.(check bool) "pop_into nan" true (Float.is_nan (Cal.pop_into q slot));
+  Alcotest.(check int) "slot untouched" 0 !slot
+
+let test_ordering () =
+  let q = Cal.create () in
+  Cal.push q 3.0 "c";
+  Cal.push q 1.0 "a";
+  Cal.push q 2.0 "b";
+  Alcotest.(check (option (float 1e-9))) "peek earliest" (Some 1.0) (Cal.peek_time q);
+  let order = List.init 3 (fun _ -> match Cal.pop q with Some (_, x) -> x | None -> "?") in
+  Alcotest.(check (list string)) "sorted by time" [ "a"; "b"; "c" ] order
+
+let test_fifo_ties () =
+  let q = Cal.create () in
+  Cal.push q 1.0 "first";
+  Cal.push q 1.0 "second";
+  Cal.push q 1.0 "third";
+  let order = List.init 3 (fun _ -> match Cal.pop q with Some (_, x) -> x | None -> "?") in
+  Alcotest.(check (list string)) "insertion order on ties" [ "first"; "second"; "third" ]
+    order
+
+let test_push_into_past () =
+  let q = Cal.create () in
+  Cal.push q 10.0 10;
+  Cal.push q 20.0 20;
+  Cal.push q 30.0 30;
+  (match Cal.pop q with
+  | Some (_, 10) -> ()
+  | _ -> Alcotest.fail "expected 10 first");
+  (* the year cursor has advanced past day 0; a push behind it must rewind *)
+  Cal.push q 0.5 0;
+  let rest = List.init 3 (fun _ -> match Cal.pop q with Some (_, x) -> x | None -> -1) in
+  Alcotest.(check (list int)) "past push drains first" [ 0; 20; 30 ] rest
+
+let test_single_instant_degenerate () =
+  (* every event at one time: one bucket takes the whole load across
+     resizes; order must still be pure FIFO *)
+  let q = Cal.create () in
+  for i = 0 to 499 do
+    Cal.push q 7.0 i
+  done;
+  let ok = ref true in
+  for i = 0 to 499 do
+    match Cal.pop q with
+    | Some (t, x) -> if x <> i || Float.compare t 7.0 <> 0 then ok := false
+    | None -> ok := false
+  done;
+  Alcotest.(check bool) "FIFO through resizes" true !ok
+
+let test_nan_rejected () =
+  let q = Cal.create () in
+  try
+    Cal.push q Float.nan ();
+    Alcotest.fail "NaN accepted"
+  with Invalid_argument _ -> ()
+
+let test_clear () =
+  let q = Cal.create () in
+  for i = 0 to 99 do
+    Cal.push q (float_of_int i) ()
+  done;
+  Cal.clear q;
+  Alcotest.(check bool) "cleared" true (Cal.is_empty q);
+  let s = Cal.stats q in
+  Alcotest.(check int) "geometry reset" 16 s.Cal.buckets;
+  Cal.push q 3.0 ();
+  Alcotest.(check (option (float 1e-9))) "usable after clear" (Some 3.0)
+    (Cal.peek_time q)
+
+let test_clear_releases_payloads () =
+  let q : int array Cal.t = Cal.create () in
+  let w = Weak.create 1 in
+  Cal.push q 1.0
+    (let payload = Array.make 1024 0 in
+     Weak.set w 0 (Some payload);
+     payload);
+  Cal.clear q;
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check bool) "payload collected after clear" true
+    (Option.is_none (Weak.get w 0));
+  ignore (Sys.opaque_identity (Cal.size q))
+
+let test_resize_stats () =
+  let q = Cal.create () in
+  let rng = Rumor_prob.Rng.of_int 17 in
+  for i = 0 to 4999 do
+    Cal.push q (Rumor_prob.Rng.float rng 1000.0) i
+  done;
+  let s = Cal.stats q in
+  Alcotest.(check bool) "grew past the initial year" true (s.Cal.buckets > 16);
+  Alcotest.(check bool) "resized at least once" true (s.Cal.resizes > 0);
+  Alcotest.(check bool) "width positive" true (s.Cal.width > 0.0);
+  let grow_resizes = s.Cal.resizes in
+  for _ = 0 to 4999 do
+    ignore (Cal.pop q)
+  done;
+  let s' = Cal.stats q in
+  Alcotest.(check bool) "shrank while draining" true (s'.Cal.resizes > grow_resizes);
+  Alcotest.(check bool) "drained" true (Cal.is_empty q)
+
+(* --- heap/calendar equivalence ------------------------------------- *)
+
+let drain_both heap cal ops =
+  (* apply the same op stream to both queues; fail on the first
+     divergence in pop results (time, payload, or exhaustion) *)
+  let id = ref 0 in
+  List.for_all
+    (fun op ->
+      if op < 20 then begin
+        let h = Heap.pop heap and c = Cal.pop cal in
+        match (h, c) with
+        | None, None -> true
+        | Some (th, xh), Some (tc, xc) -> Float.compare th tc = 0 && xh = xc
+        | _ -> false
+      end
+      else begin
+        (* coarse time grid so FIFO ties are common *)
+        let t = float_of_int ((op - 20) mod 11) /. 2.0 in
+        incr id;
+        Heap.push heap t !id;
+        Cal.push cal t !id;
+        true
+      end)
+    ops
+  &&
+  (* drain the rest in lockstep *)
+  let rec finish () =
+    match (Heap.pop heap, Cal.pop cal) with
+    | None, None -> true
+    | Some (th, xh), Some (tc, xc) ->
+        Float.compare th tc = 0 && xh = xc && finish ()
+    | _ -> false
+  in
+  finish ()
+
+let prop_heap_calendar_equivalent =
+  QCheck.Test.make ~count:300
+    ~name:"calendar drains identically to heap (interleaved push/pop, ties)"
+    QCheck.(list (int_bound 60))
+    (fun ops -> drain_both (Heap.create ()) (Cal.create ()) ops)
+
+let test_des_hold_equivalence () =
+  (* the DES access pattern itself: prefill, then pop-and-reschedule with
+     exponential gaps, long enough to rotate the year and trigger both
+     grow and shrink resizes *)
+  let rng = Rumor_prob.Rng.of_int 99 in
+  let heap = Heap.create () and cal = Cal.create () in
+  for i = 0 to 511 do
+    let t = Rumor_prob.Rng.float rng 1.0 in
+    Heap.push heap t i;
+    Cal.push cal t i
+  done;
+  let slot_h = ref (-1) and slot_c = ref (-1) in
+  for _ = 1 to 20_000 do
+    let th = Heap.pop_into heap slot_h in
+    let tc = Cal.pop_into cal slot_c in
+    if Float.compare th tc <> 0 || !slot_h <> !slot_c then
+      Alcotest.failf "hold divergence: heap (%f, %d) vs calendar (%f, %d)" th
+        !slot_h tc !slot_c;
+    let gap = Rumor_prob.Dist.exponential rng 1.0 in
+    Heap.push heap (th +. gap) !slot_h;
+    Cal.push cal (tc +. gap) !slot_c
+  done;
+  Alcotest.(check int) "sizes agree" (Heap.size heap) (Cal.size cal)
+
+let suite =
+  [
+    Alcotest.test_case "empty queue" `Quick test_empty;
+    Alcotest.test_case "ordering" `Quick test_ordering;
+    Alcotest.test_case "FIFO on ties" `Quick test_fifo_ties;
+    Alcotest.test_case "push into the past" `Quick test_push_into_past;
+    Alcotest.test_case "single-instant degenerate load" `Quick
+      test_single_instant_degenerate;
+    Alcotest.test_case "NaN rejected" `Quick test_nan_rejected;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "clear releases payloads" `Quick test_clear_releases_payloads;
+    Alcotest.test_case "resize statistics" `Quick test_resize_stats;
+    Alcotest.test_case "DES hold pattern equivalence" `Quick test_des_hold_equivalence;
+    QCheck_alcotest.to_alcotest prop_heap_calendar_equivalent;
+  ]

@@ -72,6 +72,51 @@ let test_clear () =
   Q.push q 3.0 ();
   Alcotest.(check (option (float 1e-9))) "usable after clear" (Some 3.0) (Q.peek_time q)
 
+let test_clear_releases_payloads () =
+  (* the regression this guards: clear used to only zero [len], leaving
+     every payload reachable through the backing array *)
+  let q : int array Q.t = Q.create () in
+  let w = Weak.create 1 in
+  Q.push q 1.0
+    (let payload = Array.make 1024 0 in
+     Weak.set w 0 (Some payload);
+     payload);
+  Q.clear q;
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check bool) "payload collected after clear" true
+    (Option.is_none (Weak.get w 0));
+  ignore (Sys.opaque_identity (Q.size q))
+
+let test_clear_resets_tie_break () =
+  (* a cleared queue must order same-time events like a fresh one *)
+  let q = Q.create () in
+  Q.push q 1.0 "stale";
+  Q.clear q;
+  Q.push q 2.0 "a";
+  Q.push q 2.0 "b";
+  let order = List.init 2 (fun _ -> match Q.pop q with Some (_, x) -> x | None -> "?") in
+  Alcotest.(check (list string)) "FIFO after clear" [ "a"; "b" ] order
+
+let test_pop_into () =
+  let q = Q.create () in
+  let slot = ref (-1) in
+  Alcotest.(check bool) "empty gives NaN" true (Float.is_nan (Q.pop_into q slot));
+  Alcotest.(check int) "slot untouched" (-1) !slot;
+  Q.push q 2.0 2;
+  Q.push q 1.0 1;
+  Q.push q 1.0 10;
+  let t1 = Q.pop_into q slot in
+  Alcotest.(check (float 1e-9)) "first time" 1.0 t1;
+  Alcotest.(check int) "first payload" 1 !slot;
+  let t2 = Q.pop_into q slot in
+  Alcotest.(check (float 1e-9)) "tie time" 1.0 t2;
+  Alcotest.(check int) "FIFO tie payload" 10 !slot;
+  let t3 = Q.pop_into q slot in
+  Alcotest.(check (float 1e-9)) "last time" 2.0 t3;
+  Alcotest.(check int) "last payload" 2 !slot;
+  Alcotest.(check bool) "drained" true (Q.is_empty q)
+
 let prop_dequeues_sorted =
   QCheck.Test.make ~count:100 ~name:"event queue dequeues in sorted order"
     QCheck.(list (float_bound_inclusive 1000.0))
@@ -92,5 +137,8 @@ let suite =
     Alcotest.test_case "random heap property" `Quick test_heap_property_random;
     Alcotest.test_case "NaN rejected" `Quick test_nan_rejected;
     Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "clear releases payloads" `Quick test_clear_releases_payloads;
+    Alcotest.test_case "clear resets tie-break" `Quick test_clear_resets_tie_break;
+    Alcotest.test_case "pop_into" `Quick test_pop_into;
     QCheck_alcotest.to_alcotest prop_dequeues_sorted;
   ]

@@ -30,6 +30,7 @@ let () =
       ("protocols.flood", Test_flood.suite);
       ("protocols.coupling", Test_coupling.suite);
       ("des.event_queue", Test_event_queue.suite);
+      ("des.calendar_queue", Test_calendar_queue.suite);
       ("protocols.async_push", Test_async_push.suite);
       ("protocols.async_meet_exchange", Test_async_meet_exchange.suite);
       ("protocols.dynamic_visit_exchange", Test_dynamic_visit_exchange.suite);
@@ -39,6 +40,7 @@ let () =
       ("protocols.multi_rumor", Test_multi_rumor.suite);
       ("protocols.tweaked_visit_exchange", Test_tweaked_visit_exchange.suite);
       ("protocols.engine", Test_engine.suite);
+      ("protocols.async_engine", Test_async_engine.suite);
       ("sim.protocol", Test_protocol.suite);
       ("sim.graph_spec", Test_graph_spec.suite);
       ("par.pool", Test_par.suite);

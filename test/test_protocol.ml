@@ -17,7 +17,31 @@ let test_names () =
   Alcotest.(check string) "quasi" "quasi-push" (Protocol.name Protocol.quasi_push);
   Alcotest.(check string) "cobra" "cobra" (Protocol.name (Protocol.cobra ()));
   Alcotest.(check string) "frog" "frog" (Protocol.name (Protocol.frog ()));
-  Alcotest.(check string) "flood" "flood" (Protocol.name Protocol.flood)
+  Alcotest.(check string) "flood" "flood" (Protocol.name Protocol.flood);
+  Alcotest.(check string) "async-push" "async-push"
+    (Protocol.name Protocol.async_push);
+  Alcotest.(check string) "async-push-pull" "async-push-pull"
+    (Protocol.name Protocol.async_push_pull);
+  Alcotest.(check string) "async-meetx" "async-meet-exchange"
+    (Protocol.name (Protocol.async_meet_exchange ()))
+
+let test_engine_capable () =
+  List.iter
+    (fun (spec, expected) ->
+      Alcotest.(check bool) (Protocol.name spec) expected
+        (Protocol.engine_capable spec))
+    [
+      (Protocol.push, true);
+      (Protocol.push_pull, true);
+      (Protocol.visit_exchange (), true);
+      (Protocol.meet_exchange (), true);
+      (Protocol.async_push, true);
+      (Protocol.async_push_pull, true);
+      (Protocol.async_meet_exchange (), true);
+      (Protocol.combined (), false);
+      (Protocol.pull, false);
+      (Protocol.flood, false);
+    ]
 
 let test_dispatch_matches_direct_push () =
   let g = Gen.torus ~rows:5 ~cols:5 in
@@ -47,6 +71,35 @@ let test_all_protocols_complete () =
       Protocol.cobra ();
       Protocol.frog ();
       Protocol.flood;
+      Protocol.async_push;
+      Protocol.async_push_pull;
+      Protocol.async_meet_exchange ();
+    ]
+
+(* the async specs must agree between run (legacy modules) and run_engine
+   (Async_engine DES) on the same seed — the sim-layer face of the
+   bit-identity that test_async_engine.ml pins at the protocol layer *)
+let test_async_dispatch_matches_engine () =
+  let g = Gen.torus ~rows:5 ~cols:5 in
+  List.iter
+    (fun spec ->
+      let a = Protocol.run spec (Rng.of_int 205) g ~source:0 ~max_rounds:10_000 in
+      let b =
+        Protocol.run_engine spec (Rng.of_int 205) g ~source:0 ~max_rounds:10_000
+      in
+      let label = Protocol.name spec in
+      Alcotest.(check (option int))
+        (label ^ ": broadcast_time") a.Run_result.broadcast_time
+        b.Run_result.broadcast_time;
+      Alcotest.(check (array int))
+        (label ^ ": curve") a.Run_result.informed_curve
+        b.Run_result.informed_curve;
+      Alcotest.(check int) (label ^ ": contacts") a.Run_result.contacts
+        b.Run_result.contacts)
+    [
+      Protocol.async_push;
+      Protocol.async_push_pull;
+      Protocol.async_meet_exchange ();
     ]
 
 let test_lazy_auto_on_bipartite () =
@@ -87,7 +140,10 @@ let test_alpha_scales_agent_count () =
 let suite =
   [
     Alcotest.test_case "names" `Quick test_names;
+    Alcotest.test_case "engine capability" `Quick test_engine_capable;
     Alcotest.test_case "dispatch matches direct call" `Quick test_dispatch_matches_direct_push;
+    Alcotest.test_case "async dispatch matches engine" `Quick
+      test_async_dispatch_matches_engine;
     Alcotest.test_case "all protocols complete" `Quick test_all_protocols_complete;
     Alcotest.test_case "lazy auto on bipartite" `Quick test_lazy_auto_on_bipartite;
     Alcotest.test_case "lazy off stalls on bipartite" `Quick test_lazy_off_on_bipartite_stalls;

@@ -341,6 +341,7 @@ let test_bench_record_roundtrip_and_diff () =
     {
       Bench_record.seed = 1;
       jobs = 1;
+      meta = [];
       entries =
         [
           { Bench_record.name = "rumor/push"; time_ns = 100.0; r_square = 0.99 };
@@ -356,12 +357,23 @@ let test_bench_record_roundtrip_and_diff () =
      Bench_record.of_json
        {|{"schema":"rumor-bench/1","seed":3,"entries":[]}|}
    with
-  | Ok b -> Alcotest.(check int) "missing jobs defaults to 1" 1 b.Bench_record.jobs
+  | Ok b ->
+      Alcotest.(check int) "missing jobs defaults to 1" 1 b.Bench_record.jobs;
+      Alcotest.(check (list (pair string string)))
+        "missing meta defaults to []" [] b.Bench_record.meta
   | Error msg -> Alcotest.fail msg);
+  (* and the meta map round-trips when present *)
+  (let with_meta =
+     { base with Bench_record.meta = [ ("des/resizes", "3"); ("w", "0.5") ] }
+   in
+   match Bench_record.of_json (Bench_record.to_json with_meta) with
+   | Ok b -> Alcotest.(check bool) "meta roundtrip" true (b = with_meta)
+   | Error msg -> Alcotest.fail msg);
   let current =
     {
       Bench_record.seed = 2;
       jobs = 4;
+      meta = [];
       entries =
         [
           { Bench_record.name = "rumor/push"; time_ns = 150.0; r_square = 0.98 };
