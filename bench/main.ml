@@ -446,12 +446,164 @@ let run_des_bench ?trace ~scale ~push_scale () =
   (List.concat hold_entries @ push_entries, List.concat hold_meta @ push_meta)
 
 (* ------------------------------------------------------------------ *)
+(* Part 6: walker representations (dense per-agent vs sparse counts)   *)
+(* ------------------------------------------------------------------ *)
+
+(* One timed walker-kernel run -> total and per-agent-step entries.  The
+   normalization k * rounds_run makes dense and sparse directly
+   comparable even though their broadcast times differ slightly (they
+   are distributionally equal, not bit-identical — see A10), so
+   `rumor_report compare` ratios on ns-per-agent-step read as the
+   representation speedup. *)
+let walker_run ?trace ~n ~alpha name (run : unit -> P.Run_result.t) =
+  let t0 = Clock.now_s () in
+  let (r : P.Run_result.t) =
+    Trace.with_span trace (Printf.sprintf "bench.%s.er-%d" name n) run
+  in
+  let dt_ns = Clock.elapsed_ns ~since_s:t0 in
+  let k = int_of_float (Float.round (alpha *. float_of_int n)) in
+  let steps = float_of_int (max k 1) *. float_of_int (max r.P.Run_result.rounds_run 1) in
+  let ns_per_step = dt_ns /. steps in
+  Printf.printf "%-36s %12s  %8.2f ns/agent-step  (%d rounds%s)\n" name
+    (human_ns dt_ns) ns_per_step r.P.Run_result.rounds_run
+    (match r.P.Run_result.broadcast_time with
+    | Some t -> Printf.sprintf ", T = %d" t
+    | None -> ", capped");
+  ( ns_per_step,
+    [
+      entry (Printf.sprintf "walkers/%s/er-%d-a%g" name n alpha) dt_ns;
+      entry
+        (Printf.sprintf "walkers/%s/er-%d-a%g/ns-per-agent-step" name n alpha)
+        ns_per_step;
+    ] )
+
+let run_walkers_bench ?trace ~scale ~demo_scale ~async_scale () =
+  print_endline "=====================================================================";
+  print_endline " Part 6: walker representations (dense per-agent vs sparse counts)";
+  print_endline "=====================================================================";
+  let module Engine = P.Engine in
+  let max_rounds = 100_000 in
+  let sizes = List.filter (fun n -> n <= scale) [ 100_000; 1_000_000 ] in
+  let alphas = [ 0.25; 1.0 ] in
+  let sweep =
+    List.concat_map
+      (fun n ->
+        let t0 = Clock.now_s () in
+        let g = engine_graph ~seed:3024 n in
+        let build_ns = Clock.elapsed_ns ~since_s:t0 in
+        Printf.printf "er:%d — %d edges, built in %s\n" n
+          (Rumor_graph.Graph.num_edges g)
+          (human_ns build_ns);
+        entry (Printf.sprintf "walkers/graph-build/er-%d" n) build_ns
+        :: List.concat_map
+             (fun alpha ->
+               let agents = Rumor_agents.Placement.Linear alpha in
+               let pair proto seed run_mode =
+                 let d_ns, d_entries =
+                   walker_run ?trace ~n ~alpha
+                     (Printf.sprintf "%s/dense" proto)
+                     (fun () -> run_mode P.Sparse_walkers.Dense seed)
+                 in
+                 let s_ns, s_entries =
+                   walker_run ?trace ~n ~alpha
+                     (Printf.sprintf "%s/sparse" proto)
+                     (fun () -> run_mode P.Sparse_walkers.Sparse seed)
+                 in
+                 Printf.printf "  %s alpha=%g: sparse/dense agent-step ratio %.2fx\n"
+                   proto alpha (d_ns /. s_ns);
+                 d_entries @ s_entries
+               in
+               let ve =
+                 pair "visit-exchange" 51 (fun walkers seed ->
+                     Engine.visit_exchange ?trace ~walkers (Rng.of_int seed) g
+                       ~source:0 ~agents ~max_rounds ())
+               in
+               let me =
+                 pair "meet-exchange" 52 (fun walkers seed ->
+                     Engine.meet_exchange ?trace ~walkers (Rng.of_int seed) g
+                       ~source:0 ~agents ~max_rounds ())
+               in
+               ve @ me)
+             alphas)
+      sizes
+  in
+  (* the paper-scale demonstration: visit-exchange end to end at n = 10^7,
+     only reachable in sparse mode (dense placement alone would allocate
+     and step 10^7 individual agents per round) *)
+  let demo =
+    if demo_scale <= 0 then []
+    else begin
+      let t0 = Clock.now_s () in
+      let g = engine_graph ~seed:5048 demo_scale in
+      let build_ns = Clock.elapsed_ns ~since_s:t0 in
+      Printf.printf "er:%d — %d edges, built in %s\n" demo_scale
+        (Rumor_graph.Graph.num_edges g)
+        (human_ns build_ns);
+      let _, entries =
+        walker_run ?trace ~n:demo_scale ~alpha:1.0 "visit-exchange/sparse"
+          (fun () ->
+            Engine.visit_exchange ?trace ~walkers:P.Sparse_walkers.Sparse
+              (Rng.of_int 53) g ~source:0
+              ~agents:(Rumor_agents.Placement.Linear 1.0) ~max_rounds ())
+      in
+      entry (Printf.sprintf "walkers/graph-build/er-%d" demo_scale) build_ns
+      :: entries
+    end
+  in
+  (* async meet-exchange at 10^6: the aggregate rate-k clock + Fenwick ring
+     sampler replaces the per-agent event queue entirely *)
+  let async =
+    if async_scale <= 0 then []
+    else begin
+      let t0 = Clock.now_s () in
+      let g = engine_graph ~seed:6048 async_scale in
+      let build_ns = Clock.elapsed_ns ~since_s:t0 in
+      Printf.printf "er:%d — %d edges, built in %s\n" async_scale
+        (Rumor_graph.Graph.num_edges g)
+        (human_ns build_ns);
+      let t0 = Clock.now_s () in
+      let r =
+        P.Async_engine.meet_exchange ?trace ~walkers:P.Sparse_walkers.Sparse
+          (Rng.of_int 54) g ~source:0
+          ~agents:(Rumor_agents.Placement.Linear 1.0) ~max_time:1e6
+      in
+      let dt_ns = Clock.elapsed_ns ~since_s:t0 in
+      let rings = float_of_int (max r.P.Async_meet_exchange.rings 1) in
+      Printf.printf
+        "async-meet-exchange/sparse er:%d   %s (%.1f ns/ring)   %d rings, \
+         informed %d/%d agents%s\n"
+        async_scale (human_ns dt_ns) (dt_ns /. rings)
+        r.P.Async_meet_exchange.rings r.P.Async_meet_exchange.informed
+        r.P.Async_meet_exchange.agents
+        (match r.P.Async_meet_exchange.broadcast_time with
+        | Some t -> Printf.sprintf ", T = %.2f" t
+        | None -> ", capped");
+      [
+        entry
+          (Printf.sprintf "walkers/async-meet-exchange/graph-build/er-%d"
+             async_scale)
+          build_ns;
+        entry
+          (Printf.sprintf "walkers/async-meet-exchange/sparse/er-%d-a1"
+             async_scale)
+          dt_ns;
+        entry
+          (Printf.sprintf "walkers/async-meet-exchange/sparse/er-%d-a1/ns-per-ring"
+             async_scale)
+          (dt_ns /. rings);
+      ]
+    end
+  in
+  sweep @ demo @ async
+
+(* ------------------------------------------------------------------ *)
 
 open Cmdliner
 
-let main full tables_only micro_only engine_only des_only seed metrics
-    bench_json jobs engine_scale engine_push_scale des_scale des_push_scale
-    shards trace_path =
+let main full tables_only micro_only engine_only des_only walkers_only seed
+    metrics bench_json jobs engine_scale engine_push_scale des_scale
+    des_push_scale walkers_scale walkers_demo_scale walkers_async_scale shards
+    trace_path =
   if jobs < 0 then begin
     Printf.eprintf "bench: bad --jobs %d (want >= 0; 0 = all cores)\n" jobs;
     exit 2
@@ -463,7 +615,8 @@ let main full tables_only micro_only engine_only des_only seed metrics
   let profile = if full then Experiments.Full else Experiments.Quick in
   let trace = Option.map (fun _ -> Trace.create ()) trace_path in
   let t0 = Clock.now_s () in
-  if (not micro_only) && (not engine_only) && not des_only then begin
+  if (not micro_only) && (not engine_only) && (not des_only) && not walkers_only
+  then begin
     match metrics with
     | None -> run_tables ?trace ~jobs profile ~seed
     | Some path ->
@@ -471,31 +624,47 @@ let main full tables_only micro_only engine_only des_only seed metrics
             run_tables ~metrics:sink ?trace ~jobs profile ~seed);
         Printf.printf "wrote per-replicate metrics to %s\n" path
   end;
-  if (not tables_only) || engine_only || des_only then begin
+  if (not tables_only) || engine_only || des_only || walkers_only then begin
     let entries =
-      if engine_only || des_only then []
+      if engine_only || des_only || walkers_only then []
       else run_micro () @ run_macro ?trace ~jobs ()
     in
     let engine_entries =
-      if (not des_only) && (engine_only || engine_scale > 0) then
+      if (not des_only) && (not walkers_only) && (engine_only || engine_scale > 0)
+      then
         run_engine_bench ?trace
           ~scale:(if engine_scale > 0 then engine_scale else 200_000)
           ~push_scale:engine_push_scale ~shards ()
       else []
     in
     let des_entries, meta =
-      if des_only || des_scale > 0 then
+      if (not walkers_only) && (des_only || des_scale > 0) then
         run_des_bench ?trace
           ~scale:(if des_scale > 0 then des_scale else 1_000_000)
           ~push_scale:des_push_scale ()
       else ([], [])
     in
-    let entries = entries @ engine_entries @ des_entries in
+    let walkers_entries =
+      if
+        walkers_only || walkers_scale > 0 || walkers_demo_scale > 0
+        || walkers_async_scale > 0
+      then
+        run_walkers_bench ?trace
+          ~scale:
+            (if walkers_scale > 0 then walkers_scale
+             else if walkers_only && walkers_demo_scale = 0 && walkers_async_scale = 0
+             then 1_000_000
+             else 0)
+          ~demo_scale:walkers_demo_scale ~async_scale:walkers_async_scale ()
+      else []
+    in
+    let entries = entries @ engine_entries @ des_entries @ walkers_entries in
     let path =
       Option.value bench_json
         ~default:
           (if engine_only then Printf.sprintf "BENCH_%d_engine.json" seed
            else if des_only then Printf.sprintf "BENCH_%d_des.json" seed
+           else if walkers_only then Printf.sprintf "BENCH_%d_walkers.json" seed
            else Printf.sprintf "BENCH_%d.json" seed)
     in
     Rumor_obs.Bench_record.save path
@@ -537,6 +706,17 @@ let des_only_arg =
            --des-push-scale is set) and write its des/* entries to the \
            snapshot (default BENCH_<seed>_des.json).")
 
+let walkers_only_arg =
+  Arg.(
+    value & flag
+    & info [ "walkers-only" ]
+        ~doc:
+          "Run only the walker-representation bench (Part 6: dense \
+           per-agent vs sparse count-compressed visit-/meet-exchange, plus \
+           the sparse demo runs when --walkers-demo-scale / \
+           --walkers-async-scale are set) and write its walkers/* entries \
+           to the snapshot (default BENCH_<seed>_walkers.json).")
+
 let engine_scale_arg =
   Arg.(
     value & opt int 0
@@ -571,6 +751,34 @@ let des_push_scale_arg =
           "Also run the async-push DES engine end to end on G(n, 1.25 ln n \
            / n) at this vertex count, once per queue backend (e.g. \
            1000000); 0 (default) skips it.")
+
+let walkers_scale_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "walkers-scale" ] ~docv:"N"
+        ~doc:
+          "Largest vertex count for the Part 6 dense-vs-sparse sweep on \
+           G(n, 1.25 ln n / n) (sizes 10^5, 10^6 up to $(docv), alpha in \
+           {0.25, 1}); 0 (default) skips Part 6 unless --walkers-only is \
+           given, which then uses 1000000.")
+
+let walkers_demo_scale_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "walkers-demo-scale" ] ~docv:"N"
+        ~doc:
+          "Also run sparse visit-exchange end to end at this vertex count \
+           with alpha = 1 (e.g. 10000000 — the scale dense walkers cannot \
+           reach); 0 (default) skips it.")
+
+let walkers_async_scale_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "walkers-async-scale" ] ~docv:"N"
+        ~doc:
+          "Also run sparse async-meet-exchange (aggregate rate-k clock + \
+           Fenwick ring sampler) end to end at this vertex count with \
+           alpha = 1 (e.g. 1000000); 0 (default) skips it.")
 
 let shards_arg =
   Arg.(
@@ -627,8 +835,10 @@ let cmd =
     (Cmd.info "bench" ~doc)
     Term.(
       const main $ full_arg $ tables_only_arg $ micro_only_arg $ engine_only_arg
-      $ des_only_arg $ seed_arg $ metrics_arg $ bench_json_arg $ jobs_arg
-      $ engine_scale_arg $ engine_push_scale_arg $ des_scale_arg
-      $ des_push_scale_arg $ shards_arg $ trace_arg)
+      $ des_only_arg $ walkers_only_arg $ seed_arg $ metrics_arg
+      $ bench_json_arg $ jobs_arg $ engine_scale_arg $ engine_push_scale_arg
+      $ des_scale_arg $ des_push_scale_arg $ walkers_scale_arg
+      $ walkers_demo_scale_arg $ walkers_async_scale_arg $ shards_arg
+      $ trace_arg)
 
 let () = exit (Cmd.eval cmd)

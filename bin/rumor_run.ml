@@ -53,7 +53,7 @@ let laziness_of_string = function
   | other -> Error (Printf.sprintf "bad laziness %S (off|on|auto)" other)
 
 let run graph_text protocols source_override seed reps max_rounds alpha lazy_text
-    show_curve metrics_path jobs engine shards trace_path =
+    show_curve metrics_path jobs engine shards walkers_text trace_path =
   let ( let* ) r f = match r with Ok v -> f v | Error m -> `Error (false, m) in
   let* spec =
     match Graph_spec.parse graph_text with Ok s -> Ok s | Error m -> Error m
@@ -70,6 +70,17 @@ let run graph_text protocols source_override seed reps max_rounds alpha lazy_tex
   let* () =
     if engine || shards = 1 then Ok ()
     else Error "--shards requires --engine"
+  in
+  let* walkers =
+    match Protocol.walkers_of_string walkers_text with
+    | Some w -> Ok w
+    | None ->
+        Error
+          (Printf.sprintf "bad --walkers %S (dense|sparse|auto)" walkers_text)
+  in
+  let* () =
+    if engine || walkers = Protocol.Dense then Ok ()
+    else Error "--walkers requires --engine"
   in
   let* protocol_specs =
     List.fold_left
@@ -128,8 +139,8 @@ let run graph_text protocols source_override seed reps max_rounds alpha lazy_tex
           in
           let m =
             Replicate.broadcast_times ?sink ?trace
-              ~graph_name:(Graph_spec.to_string spec) ~jobs ~engine ~shards ~seed
-              ~reps ~graph ~spec:p ~max_rounds ()
+              ~graph_name:(Graph_spec.to_string spec) ~jobs ~engine ~walkers
+              ~shards ~seed ~reps ~graph ~spec:p ~max_rounds ()
           in
           let s = m.Replicate.summary in
           Printf.printf "%-14s mean %.1f  median %.1f  min %.0f  max %.0f%s\n"
@@ -255,6 +266,16 @@ let shards_arg =
   in
   Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
 
+let walkers_arg =
+  let doc =
+    "With --engine, the walker representation for visit-exchange, \
+     meet-exchange and async-meet-exchange: dense (per-agent positions, \
+     bit-identical to the legacy path), sparse (count-compressed per-vertex \
+     occupancy — seed-deterministic but not bit-identical; required for \
+     10^7 agents), or auto (sparse above the agent-count threshold)."
+  in
+  Arg.(value & opt string "dense" & info [ "walkers" ] ~docv:"MODE" ~doc)
+
 let trace_arg =
   let doc =
     "Record an execution trace (spans, counters, per-worker tracks) to \
@@ -281,6 +302,6 @@ let cmd =
       ret
         (const run $ graph_arg $ protocol_arg $ source_arg $ seed_arg $ reps_arg
        $ max_rounds_arg $ alpha_arg $ lazy_arg $ curve_arg $ metrics_arg
-       $ jobs_arg $ engine_arg $ shards_arg $ trace_arg))
+       $ jobs_arg $ engine_arg $ shards_arg $ walkers_arg $ trace_arg))
 
 let () = exit (Cmd.eval cmd)

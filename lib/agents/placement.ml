@@ -29,3 +29,23 @@ let place rng spec g =
   | All_at (v, _) ->
       if v < 0 || v >= Graph.n g then invalid_arg "Placement.place: vertex out of range";
       Array.make k v
+
+let place_counts rng spec g =
+  let k = count spec g in
+  if k <= 0 then invalid_arg "Placement.place_counts: no agents";
+  let n = Graph.n g in
+  let counts = Array.make n 0 in
+  (match spec with
+  | Stationary _ | Linear _ ->
+      (* same draw sequence as {!place}, histogrammed on the fly: O(n + k)
+         memory-independent of per-agent identity *)
+      let alias = stationary_weights g in
+      for _ = 1 to k do
+        let v = Alias.sample alias rng in
+        counts.(v) <- counts.(v) + 1
+      done
+  | One_per_vertex -> Array.fill counts 0 n 1
+  | All_at (v, _) ->
+      if v < 0 || v >= n then invalid_arg "Placement.place_counts: vertex out of range";
+      counts.(v) <- k);
+  counts

@@ -22,6 +22,14 @@ val place : Rumor_prob.Rng.t -> spec -> Rumor_graph.Graph.t -> int array
     agent.  @raise Invalid_argument if the spec is empty or invalid for
     [g] (e.g. [All_at] with an out-of-range vertex). *)
 
+val place_counts : Rumor_prob.Rng.t -> spec -> Rumor_graph.Graph.t -> int array
+(** [place_counts rng spec g] is the per-vertex histogram of {!place} — the
+    count-compressed placement used by the sparse walker kernels.  For the
+    stationary specs it consumes the rng in exactly the same order as
+    {!place}, so [place_counts rng spec g] equals the histogram of
+    [place rng' spec g] when [rng] and [rng'] start from the same state.
+    @raise Invalid_argument under the same conditions as {!place}. *)
+
 val stationary_weights : Rumor_graph.Graph.t -> Rumor_prob.Alias.t
 (** The alias table for the stationary distribution of [g], exposed for
     tests and for callers that place agents repeatedly. *)

@@ -5,7 +5,21 @@ type t = {
   m : int;                (* number of undirected edges *)
   offsets : int array;    (* length n+1; adjacency of u is adj.(offsets.(u) .. offsets.(u+1)-1) *)
   adj : int array;        (* length 2m, sorted within each vertex slice *)
+  min_deg : int;          (* cached at construction so min_degree is O(1) *)
 }
+
+(* offsets is already a degree prefix sum, so the min degree falls out of
+   one pass at construction time — every later min_degree call is O(1). *)
+let min_deg_of_offsets nv offsets =
+  if nv = 0 then 0
+  else begin
+    let d = ref max_int in
+    for u = 0 to nv - 1 do
+      let du = offsets.(u + 1) - offsets.(u) in
+      if du < !d then d := du
+    done;
+    !d
+  end
 
 let n g = g.n
 let num_edges g = g.m
@@ -61,12 +75,7 @@ let edge_index g u v =
 
 let arc_count g = 2 * g.m
 
-let min_degree g =
-  let d = ref max_int in
-  for u = 0 to g.n - 1 do
-    if degree g u < !d then d := degree g u
-  done;
-  if g.n = 0 then 0 else !d
+let min_degree g = g.min_deg
 
 let max_degree g =
   let d = ref 0 in
@@ -140,7 +149,7 @@ let of_edge_array ~n:nv edges =
       cursor.(v) <- cursor.(v) + 1)
     edges;
   sort_and_check_slices ~who:"Graph.of_edge_array" ~n:nv offsets adj;
-  { n = nv; m; offsets; adj }
+  { n = nv; m; offsets; adj; min_deg = min_deg_of_offsets nv offsets }
 
 let of_edges ~n edges = of_edge_array ~n (Array.of_list edges)
 
@@ -247,7 +256,7 @@ module Builder = struct
         Trace.begin_span tr "graph.sort");
     sort_and_check_slices ~who:"Graph.Builder.finish" ~n:nv offsets adj;
     (match b.btrace with None -> () | Some tr -> Trace.end_span tr);
-    { n = nv; m; offsets; adj }
+    { n = nv; m; offsets; adj; min_deg = min_deg_of_offsets nv offsets }
 end
 
 let validate g =

@@ -93,6 +93,10 @@ val arc_count : t -> int
 (** {1 Degree statistics} *)
 
 val min_degree : t -> int
+(** Cached at construction; O(1). Agent-placement validation keys off this
+    to skip its per-agent isolated-vertex scan on min-degree-positive
+    graphs. *)
+
 val max_degree : t -> int
 val is_regular : t -> bool
 

@@ -3,6 +3,7 @@ type t = {
   on_round_end : round:int -> informed:int -> contacts:int -> unit;
   on_contact : int -> int -> unit;
   on_walker_move : agent:int -> from_:int -> to_:int -> unit;
+  on_occupancy : round:int -> occupied:int -> walkers:int -> unit;
 }
 
 let nop =
@@ -11,11 +12,13 @@ let nop =
     on_round_end = (fun ~round:_ ~informed:_ ~contacts:_ -> ());
     on_contact = (fun _ _ -> ());
     on_walker_move = (fun ~agent:_ ~from_:_ ~to_:_ -> ());
+    on_occupancy = (fun ~round:_ ~occupied:_ ~walkers:_ -> ());
   }
 
 let make ?(on_round_start = nop.on_round_start) ?(on_round_end = nop.on_round_end)
-    ?(on_contact = nop.on_contact) ?(on_walker_move = nop.on_walker_move) () =
-  { on_round_start; on_round_end; on_contact; on_walker_move }
+    ?(on_contact = nop.on_contact) ?(on_walker_move = nop.on_walker_move)
+    ?(on_occupancy = nop.on_occupancy) () =
+  { on_round_start; on_round_end; on_contact; on_walker_move; on_occupancy }
 
 let pair a b =
   {
@@ -35,6 +38,10 @@ let pair a b =
       (fun ~agent ~from_ ~to_ ->
         a.on_walker_move ~agent ~from_ ~to_;
         b.on_walker_move ~agent ~from_ ~to_);
+    on_occupancy =
+      (fun ~round ~occupied ~walkers ->
+        a.on_occupancy ~round ~occupied ~walkers;
+        b.on_occupancy ~round ~occupied ~walkers);
   }
 
 let[@inline] round_start obs r =
@@ -49,12 +56,17 @@ let[@inline] contact obs u v =
 let[@inline] walker_move obs ~agent ~from_ ~to_ =
   match obs with None -> () | Some i -> i.on_walker_move ~agent ~from_ ~to_
 
+let[@inline] occupancy obs ~round ~occupied ~walkers =
+  match obs with None -> () | Some i -> i.on_occupancy ~round ~occupied ~walkers
+
 module Recorder = struct
   type r = {
     mutable rounds_started : int;
     mutable rounds_ended : int;
     mutable contacts : int;
     mutable walker_moves : int;
+    mutable occupancy_events : int;
+    mutable last_occupied : int;  (* -1 until the first occupancy event *)
     mutable curve : int array;  (* filled prefix has length rounds_ended *)
   }
 
@@ -64,6 +76,8 @@ module Recorder = struct
       rounds_ended = 0;
       contacts = 0;
       walker_moves = 0;
+      occupancy_events = 0;
+      last_occupied = -1;
       curve = Array.make 16 0;
     }
 
@@ -85,12 +99,18 @@ module Recorder = struct
       on_contact = (fun _ _ -> r.contacts <- r.contacts + 1);
       on_walker_move =
         (fun ~agent:_ ~from_:_ ~to_:_ -> r.walker_moves <- r.walker_moves + 1);
+      on_occupancy =
+        (fun ~round:_ ~occupied ~walkers:_ ->
+          r.occupancy_events <- r.occupancy_events + 1;
+          r.last_occupied <- occupied);
     }
 
   let rounds_started r = r.rounds_started
   let rounds_ended r = r.rounds_ended
   let contacts r = r.contacts
   let walker_moves r = r.walker_moves
+  let occupancy_events r = r.occupancy_events
+  let last_occupied r = if r.last_occupied < 0 then None else Some r.last_occupied
   let curve r = Array.sub r.curve 0 r.rounds_ended
 
   let last_informed r =

@@ -25,6 +25,12 @@ type t = {
           protocol's [contacts] counter counts. *)
   on_walker_move : agent:int -> from_:int -> to_:int -> unit;
       (** one walker step; lazy stays report [from_ = to_] *)
+  on_occupancy : round:int -> occupied:int -> walkers:int -> unit;
+      (** aggregate walker occupancy after a round's walk phase: [occupied]
+          vertices currently hold at least one of the [walkers] agents.
+          Fired by the count-compressed (sparse) walker kernels, which erase
+          agent identity and therefore cannot fire [on_contact] or
+          [on_walker_move] per agent; dense kernels do not fire it. *)
 }
 
 val nop : t
@@ -35,6 +41,7 @@ val make :
   ?on_round_end:(round:int -> informed:int -> contacts:int -> unit) ->
   ?on_contact:(int -> int -> unit) ->
   ?on_walker_move:(agent:int -> from_:int -> to_:int -> unit) ->
+  ?on_occupancy:(round:int -> occupied:int -> walkers:int -> unit) ->
   unit ->
   t
 (** Build an instrument; omitted hooks default to no-ops. *)
@@ -51,6 +58,7 @@ val round_start : t option -> int -> unit
 val round_end : t option -> round:int -> informed:int -> contacts:int -> unit
 val contact : t option -> int -> int -> unit
 val walker_move : t option -> agent:int -> from_:int -> to_:int -> unit
+val occupancy : t option -> round:int -> occupied:int -> walkers:int -> unit
 
 (** {1 Recording instrument}
 
@@ -69,6 +77,10 @@ module Recorder : sig
   val contacts : r -> int  (** number of [on_contact] firings *)
 
   val walker_moves : r -> int
+  val occupancy_events : r -> int  (** number of [on_occupancy] firings *)
+
+  val last_occupied : r -> int option
+  (** [occupied] from the most recent occupancy event, if any. *)
 
   val curve : r -> int array
   (** Informed counts in [on_round_end] order (rounds [1 .. rounds_ended]). *)

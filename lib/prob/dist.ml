@@ -88,6 +88,44 @@ let categorical g w =
   in
   scan 0 0.0
 
+(* Chained conditional binomials: bin i receives Bin(remaining, w_i / rest)
+   where rest is the weight mass not yet assigned.  Each split reuses
+   {!binomial}'s small-n / waiting-time strategy, so the whole vector is
+   exact and costs O(sum over bins of remaining * p_i + bins).  Zero-weight
+   bins fall through binomial's p = 0 fast path and receive 0. *)
+let multinomial g n w =
+  if n < 0 then invalid_arg "Dist.multinomial: n < 0";
+  let bins = Array.length w in
+  if bins = 0 then invalid_arg "Dist.multinomial: empty weights";
+  let total = ref 0.0 in
+  for i = 0 to bins - 1 do
+    if not (w.(i) >= 0.0) then invalid_arg "Dist.multinomial: negative weight";
+    total := !total +. w.(i)
+  done;
+  if not (!total > 0.0) then invalid_arg "Dist.multinomial: non-positive total";
+  (* chain only up to the last positive-weight bin: the remainder is assigned
+     there outright, so subtraction drift in [rest] can never leak mass into
+     a zero-weight bin *)
+  let last_pos = ref 0 in
+  for i = 0 to bins - 1 do
+    if w.(i) > 0.0 then last_pos := i
+  done;
+  let counts = Array.make bins 0 in
+  let remaining = ref n in
+  let rest = ref !total in
+  let i = ref 0 in
+  while !remaining > 0 && !i < !last_pos do
+    let p = w.(!i) /. !rest in
+    let p = if p > 1.0 then 1.0 else if p < 0.0 then 0.0 else p in
+    let c = binomial g !remaining p in
+    counts.(!i) <- c;
+    remaining := !remaining - c;
+    rest := !rest -. w.(!i);
+    incr i
+  done;
+  if !remaining > 0 then counts.(!last_pos) <- !remaining;
+  counts
+
 let binomial_mean n p = float_of_int n *. p
 let binomial_variance n p = float_of_int n *. p *. (1.0 -. p)
 let geometric_mean p = 1.0 /. p

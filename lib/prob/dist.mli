@@ -37,6 +37,15 @@ val categorical : Rng.t -> float array -> int
     {!Alias.t} instead. @raise Invalid_argument on empty or non-positive
     total weight. *)
 
+val multinomial : Rng.t -> int -> float array -> int array
+(** [multinomial g n w] splits [n] trials across [Array.length w] bins with
+    probabilities [w.(i) / sum w], by chained conditional {!binomial} draws
+    (bin [i] gets Bin(remaining, w_i / remaining mass)).  Exact; the returned
+    counts always sum to [n]; zero-weight bins receive 0.  The count-sweep
+    walker kernels inline the uniform-weight specialization of this chain.
+    @raise Invalid_argument if [n < 0], [w] is empty, any weight is negative,
+    or the total weight is not positive. *)
+
 val binomial_mean : int -> float -> float
 val binomial_variance : int -> float -> float
 val geometric_mean : float -> float

@@ -232,6 +232,105 @@ end
 module On_heap = Make (Event_queue)
 module On_calendar = Make (Calendar_queue)
 
+(* Count-compressed asynchronous meet-exchange: no event queue at all.  The
+   superposition of k unit-rate Poisson clocks is one rate-k Poisson
+   process whose rings pick a uniformly random walker — i.e. a vertex with
+   probability proportional to its occupancy (a Fenwick tree over the
+   per-vertex counts, O(log n) per ring) and then a class (uninformed /
+   informed) by the count split, reusing the Fenwick residual as the
+   second draw.  Exact in distribution, but not bit-identical to the dense
+   kernel (agent identity and the per-agent queue order are gone), and no
+   per-agent obs hooks can fire. *)
+(* lint: hot *)
+let meet_exchange_sparse ?trace ~batch ~lazy_walk rng g ~source ~agents
+    ~max_time =
+  let n = Graph.n g in
+  let clock = Exp_stream.create ~batch (Rng.split rng) in
+  let counts = Placement.place_counts rng agents g in
+  let uninf = counts in
+  let inf = Array.make n 0 in
+  (if Graph.min_degree g = 0 then
+     for v = 0 to n - 1 do
+       if uninf.(v) > 0 && Graph.degree g v = 0 then
+         invalid_arg "Async_engine.meet_exchange: agent on isolated vertex"
+     done);
+  let fw = Rumor_prob.Fenwick.of_counts counts in
+  let k = Rumor_prob.Fenwick.total fw in
+  let informed_count = ref 0 in
+  let source_active = ref true in
+  let exchange_at v =
+    let cu = uninf.(v) and ci = inf.(v) in
+    let source_hit = !source_active && v = source && cu + ci > 0 in
+    if (ci > 0 || source_hit) && cu > 0 then begin
+      inf.(v) <- ci + cu;
+      uninf.(v) <- 0;
+      informed_count := !informed_count + cu
+    end;
+    if source_hit then source_active := false
+  in
+  exchange_at source;
+  let rate = float_of_int k in
+  let curve = Curve_buf.create ~hint:(Async_push.curve_hint max_time) in
+  Curve_buf.push curve !informed_count;
+  let next_mark = ref 1 in
+  let rings = ref 0 in
+  let now = ref 0.0 in
+  let finish_time = ref 0.0 in
+  let finished = ref false in
+  let running = ref (!informed_count < k) in
+  span_begin trace "async_engine.meet_exchange.loop";
+  while !running do
+    let t = !now +. (Exp_stream.next clock /. rate) in
+    if t > max_time then running := false
+    else begin
+      now := t;
+      incr rings;
+      des_sample trace ~rings:!rings ~queue_size:0 ~informed:!informed_count;
+      Async_push.curve_marks curve next_mark ~now:t ~count:!informed_count;
+      (* the ringing walker: vertex ∝ occupancy, class by the count split;
+         the Fenwick residual is already uniform on the vertex's population *)
+      let u, residual = Rumor_prob.Fenwick.find fw (Rng.int rng k) in
+      let walker_uninformed = residual < uninf.(u) in
+      let v =
+        if lazy_walk && Rng.bool rng then u else Graph.random_neighbor g rng u
+      in
+      if v <> u then begin
+        (if walker_uninformed then begin
+           uninf.(u) <- uninf.(u) - 1;
+           uninf.(v) <- uninf.(v) + 1
+         end
+         else begin
+           inf.(u) <- inf.(u) - 1;
+           inf.(v) <- inf.(v) + 1
+         end);
+        Rumor_prob.Fenwick.add fw u (-1);
+        Rumor_prob.Fenwick.add fw v 1
+      end;
+      exchange_at v;
+      if !informed_count = k then begin
+        finish_time := t;
+        finished := true;
+        running := false
+      end
+    end
+  done;
+  let finish =
+    if !finished then Some !finish_time
+    else if !informed_count = k then Some 0.0
+    else None
+  in
+  (match finish with
+  | Some f -> ignore (Async_push.curve_finish curve ~finish:f ~count:!informed_count)
+  | None -> Async_push.curve_cap curve next_mark ~max_time ~count:!informed_count);
+  des_loop_end trace ~informed:!informed_count ~rings:!rings;
+  {
+    Async_meet_exchange.broadcast_time = finish;
+    rings = !rings;
+    informed = !informed_count;
+    agents = k;
+    curve = Curve_buf.contents curve;
+  }
+
 type queue = Heap | Calendar
 
 let default_batch = 4096
@@ -260,8 +359,9 @@ let push ?obs ?trace ?(queue = Calendar) ?(batch = default_batch) ?stats rng g
       put_stats stats (Some (Calendar_queue.stats q));
       r
 
-let meet_exchange ?obs ?trace ?lazy_walk ?(queue = Calendar)
-    ?(batch = default_batch) ?stats rng g ~source ~agents ~max_time =
+let meet_exchange ?obs ?trace ?lazy_walk ?(walkers = Sparse_walkers.Dense)
+    ?(queue = Calendar) ?(batch = default_batch) ?stats rng g ~source ~agents
+    ~max_time =
   let n = Graph.n g in
   if source < 0 || source >= n then
     invalid_arg "Async_engine.meet_exchange: source out of range";
@@ -274,6 +374,13 @@ let meet_exchange ?obs ?trace ?lazy_walk ?(queue = Calendar)
     | Some b -> b
     | None -> Rumor_graph.Algo.is_bipartite g
   in
+  if Sparse_walkers.use_sparse walkers agents g then begin
+    ignore obs;
+    put_stats stats None;
+    meet_exchange_sparse ?trace ~batch ~lazy_walk rng g ~source ~agents
+      ~max_time
+  end
+  else
   match queue with
   | Heap ->
       put_stats stats None;

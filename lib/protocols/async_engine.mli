@@ -61,6 +61,7 @@ val meet_exchange :
   ?obs:Rumor_obs.Instrument.t ->
   ?trace:Rumor_obs.Trace.t ->
   ?lazy_walk:bool ->
+  ?walkers:Sparse_walkers.mode ->
   ?queue:queue ->
   ?batch:int ->
   ?stats:Rumor_des.Calendar_queue.stats option ref ->
@@ -73,5 +74,17 @@ val meet_exchange :
 (** Engine counterpart of {!Async_meet_exchange.run}; bit-identical to it
     on the same seed.  An omitted [lazy_walk] resolves to the graph's
     bipartiteness, like the legacy module.
+
+    [?walkers] ({!Sparse_walkers.Dense} by default) selects the walker
+    representation.  Sparse mode compresses walkers into per-vertex
+    (uninformed, informed) counts and replaces the per-agent event queue
+    with one aggregate rate-k Poisson clock: each ring samples a vertex
+    with probability proportional to its occupancy through a
+    {!Rumor_prob.Fenwick} tree (O(log n), no queue at all), closing the
+    n = 10^6 async gap.  Sparse runs are seed-deterministic but not
+    bit-identical to dense, fire no per-agent [?obs] hooks, and always
+    report [None] into [?stats]; [?queue]/[?batch] only affect the clock
+    pre-draw.  [Auto] picks sparse at {!Sparse_walkers.auto_threshold}
+    agents.
     @raise Invalid_argument on a bad source, non-positive [max_time] or
     [batch < 1]. *)

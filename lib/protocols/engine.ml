@@ -253,10 +253,13 @@ let push_pull ?traffic ?obs ?trace ?(shards = 1) ?pool rng g ~source
 let place_agents ~who rng g agents =
   let pos = Placement.place rng agents g in
   if Array.length pos = 0 then invalid_arg (who ^ ": no agents");
-  Array.iter
-    (fun v ->
-      if Graph.degree g v = 0 then invalid_arg (who ^ ": agent on isolated vertex"))
-    pos;
+  (* a graph with positive min degree (O(1): cached degree stats) cannot
+     hold an isolated vertex, so the O(k) per-agent scan is pure overhead *)
+  if Graph.min_degree g = 0 then
+    Array.iter
+      (fun v ->
+        if Graph.degree g v = 0 then invalid_arg (who ^ ": agent on isolated vertex"))
+      pos;
   pos
 
 (* One synchronized walker round over a flat position array, consuming [rng]
@@ -306,11 +309,89 @@ let move_agents_sharded ?traffic ?obs ?trace ~lazy_walk ~shards pool rng g pos
 
 (* -------------------------------------------------------- visit-exchange *)
 
+(* Count-compressed VE round loop: walker state lives in Sparse_walkers'
+   per-vertex (uninformed, informed) counts, so both spread phases are
+   O(occupied) sweeps.  Not bit-identical to the dense kernel (agent
+   identity is erased; A10 gates the distributional agreement); fires the
+   aggregate occupancy hook instead of per-agent contact/walker_move. *)
 (* lint: hot *)
-let visit_exchange ?traffic ?obs ?trace ?(lazy_walk = false) ?(shards = 1)
-    ?pool rng g ~source ~agents ~max_rounds () =
+let visit_exchange_sparse ?obs ?trace ~lazy_walk rng g ~source ~agents
+    ~max_rounds () =
   let n = Graph.n g in
-  check_common ~who:"Engine.visit_exchange" ~n ~source ~max_rounds ~shards;
+  let w =
+    Sparse_walkers.create ~who:"Engine.visit_exchange" ~lazy_walk rng g agents
+  in
+  let k = Sparse_walkers.agent_count w in
+  let vertex_informed = Bitset.create n in
+  Bitset.add vertex_informed source;
+  let informed_vertices = ref 1 in
+  (* round 0: every walker standing on the source is informed *)
+  let informed_agents = ref (Sparse_walkers.inform_all_at w source) in
+  let contacts = ref !informed_agents in
+  let curve = Curve_buf.create ~hint:max_rounds in
+  Curve_buf.push curve 1;
+  let all_agents_round = ref (if !informed_agents = k then 0 else -1) in
+  let last_vertex_round = ref 0 in
+  let t = ref 0 in
+  while (!informed_vertices < n || !all_agents_round < 0) && !t < max_rounds do
+    incr t;
+    let round = !t in
+    Obs.round_start obs round;
+    span_begin_arg trace "visit_exchange.round" round;
+    let c0 = !contacts in
+    span_begin trace "walk";
+    Sparse_walkers.step rng w;
+    span_end trace;
+    span_begin trace "spread";
+    let occ = Sparse_walkers.occupied_count w in
+    (* phase 2: a vertex holding a walker informed in a previous round gets
+       informed (conversions below only land in the informed counts after
+       this sweep, so they cannot inform a vertex until next round) *)
+    for i = 0 to occ - 1 do
+      let v = Sparse_walkers.occupied_vertex w i in
+      if
+        Sparse_walkers.informed_at w v > 0
+        && not (Bitset.mem vertex_informed v)
+      then begin
+        Bitset.add vertex_informed v;
+        incr informed_vertices;
+        incr contacts;
+        last_vertex_round := round
+      end
+    done;
+    (* phase 3: every walker standing on an informed vertex is informed *)
+    for i = 0 to occ - 1 do
+      let v = Sparse_walkers.occupied_vertex w i in
+      if Bitset.mem vertex_informed v then begin
+        let c = Sparse_walkers.inform_all_at w v in
+        informed_agents := !informed_agents + c;
+        contacts := !contacts + c
+      end
+    done;
+    span_end trace;
+    Obs.occupancy obs ~round ~occupied:occ ~walkers:k;
+    if !informed_agents = k && !all_agents_round < 0 then
+      all_agents_round := round;
+    Curve_buf.push curve !informed_vertices;
+    trace_round_end trace ~informed:!informed_vertices
+      ~contacts_delta:(!contacts - c0);
+    Obs.round_end obs ~round ~informed:!informed_vertices ~contacts:!contacts
+  done;
+  let rounds_run = !t in
+  let broadcast_time =
+    if !informed_vertices = n then Some !last_vertex_round else None
+  in
+  let all_agents_informed =
+    if !all_agents_round < 0 then None else Some !all_agents_round
+  in
+  Run_result.make ~all_agents_informed ~broadcast_time ~rounds_run
+    ~informed_curve:(Curve_buf.contents curve)
+    ~contacts:!contacts ()
+
+(* lint: hot *)
+let visit_exchange_dense ?traffic ?obs ?trace ~lazy_walk ~shards ?pool rng g
+    ~source ~agents ~max_rounds () =
+  let n = Graph.n g in
   let pos = place_agents ~who:"Engine.visit_exchange" rng g agents in
   let k = Array.length pos in
   let vertex_informed = Bitset.create n in
@@ -400,20 +481,87 @@ let visit_exchange ?traffic ?obs ?trace ?(lazy_walk = false) ?(shards = 1)
     ~informed_curve:(Curve_buf.contents curve)
     ~contacts:!contacts ()
 
+let visit_exchange ?traffic ?obs ?trace ?(lazy_walk = false)
+    ?(walkers = Sparse_walkers.Dense) ?(shards = 1) ?pool rng g ~source
+    ~agents ~max_rounds () =
+  let n = Graph.n g in
+  check_common ~who:"Engine.visit_exchange" ~n ~source ~max_rounds ~shards;
+  if Sparse_walkers.use_sparse walkers agents g then begin
+    if Option.is_some traffic then
+      invalid_arg "Engine.visit_exchange: traffic recording requires dense walkers";
+    visit_exchange_sparse ?obs ?trace ~lazy_walk rng g ~source ~agents
+      ~max_rounds ()
+  end
+  else
+    visit_exchange_dense ?traffic ?obs ?trace ~lazy_walk ~shards ?pool rng g
+      ~source ~agents ~max_rounds ()
+
 (* --------------------------------------------------------- meet-exchange *)
 
+(* Count-compressed ME round loop.  A meeting needs >= 1 previously informed
+   and >= 1 uninformed walker on the same vertex — exactly what the two
+   count arrays expose, because conversions only enter the informed counts
+   after the sweep (so "previously informed" is whatever the informed array
+   holds right after the scatter).  Source hand-off converts everyone on a
+   still-active source, matching the dense kernel. *)
 (* lint: hot *)
-let meet_exchange ?traffic ?obs ?trace ?lazy_walk ?(shards = 1) ?pool rng g
+let meet_exchange_sparse ?obs ?trace ~lazy_walk rng g ~source ~agents
+    ~max_rounds () =
+  let w =
+    Sparse_walkers.create ~who:"Engine.meet_exchange" ~lazy_walk rng g agents
+  in
+  let k = Sparse_walkers.agent_count w in
+  (* round 0: walkers standing on the source are informed *)
+  let informed = ref (Sparse_walkers.inform_all_at w source) in
+  let contacts = ref !informed in
+  let source_active = ref (!informed = 0) in
+  let curve = Curve_buf.create ~hint:max_rounds in
+  Curve_buf.push curve !informed;
+  let t = ref 0 in
+  while !informed < k && !t < max_rounds do
+    incr t;
+    let round = !t in
+    Obs.round_start obs round;
+    span_begin_arg trace "meet_exchange.round" round;
+    let c0 = !contacts in
+    span_begin trace "walk";
+    Sparse_walkers.step rng w;
+    span_end trace;
+    span_begin trace "spread";
+    let occ = Sparse_walkers.occupied_count w in
+    for i = 0 to occ - 1 do
+      let v = Sparse_walkers.occupied_vertex w i in
+      if !source_active && v = source then begin
+        (* hand-off: the first walkers to visit the source all pick the
+           rumor up, informed companions or not *)
+        let c = Sparse_walkers.inform_all_at w v in
+        informed := !informed + c;
+        contacts := !contacts + c;
+        source_active := false
+      end
+      else if Sparse_walkers.informed_at w v > 0 then begin
+        let c = Sparse_walkers.inform_all_at w v in
+        informed := !informed + c;
+        contacts := !contacts + c
+      end
+    done;
+    span_end trace;
+    Obs.occupancy obs ~round ~occupied:occ ~walkers:k;
+    Curve_buf.push curve !informed;
+    trace_round_end trace ~informed:!informed ~contacts_delta:(!contacts - c0);
+    Obs.round_end obs ~round ~informed:!informed ~contacts:!contacts
+  done;
+  let rounds_run = !t in
+  let broadcast_time = if !informed = k then Some rounds_run else None in
+  Run_result.make ~all_agents_informed:broadcast_time ~broadcast_time
+    ~rounds_run
+    ~informed_curve:(Curve_buf.contents curve)
+    ~contacts:!contacts ()
+
+(* lint: hot *)
+let meet_exchange_dense ?traffic ?obs ?trace ~lazy_walk ~shards ?pool rng g
     ~source ~agents ~max_rounds () =
   let n = Graph.n g in
-  check_common ~who:"Engine.meet_exchange" ~n ~source ~max_rounds ~shards;
-  (* same unsafe-default fix as Meet_exchange: an omitted [lazy_walk]
-     resolves by testing bipartiteness *)
-  let lazy_walk =
-    match lazy_walk with
-    | Some b -> b
-    | None -> Rumor_graph.Algo.is_bipartite g
-  in
   let pos = place_agents ~who:"Engine.meet_exchange" rng g agents in
   let k = Array.length pos in
   let agent_informed = Bitset.create k in
@@ -520,5 +668,145 @@ let meet_exchange ?traffic ?obs ?trace ?lazy_walk ?(shards = 1) ?pool rng g
   let broadcast_time = if !informed = k then Some rounds_run else None in
   Run_result.make ~all_agents_informed:broadcast_time ~broadcast_time
     ~rounds_run
+    ~informed_curve:(Curve_buf.contents curve)
+    ~contacts:!contacts ()
+
+let meet_exchange ?traffic ?obs ?trace ?lazy_walk
+    ?(walkers = Sparse_walkers.Dense) ?(shards = 1) ?pool rng g ~source
+    ~agents ~max_rounds () =
+  let n = Graph.n g in
+  check_common ~who:"Engine.meet_exchange" ~n ~source ~max_rounds ~shards;
+  (* same unsafe-default fix as Meet_exchange: an omitted [lazy_walk]
+     resolves by testing bipartiteness *)
+  let lazy_walk =
+    match lazy_walk with
+    | Some b -> b
+    | None -> Rumor_graph.Algo.is_bipartite g
+  in
+  if Sparse_walkers.use_sparse walkers agents g then begin
+    if Option.is_some traffic then
+      invalid_arg "Engine.meet_exchange: traffic recording requires dense walkers";
+    meet_exchange_sparse ?obs ?trace ~lazy_walk rng g ~source ~agents
+      ~max_rounds ()
+  end
+  else
+    meet_exchange_dense ?traffic ?obs ?trace ~lazy_walk ~shards ?pool rng g
+      ~source ~agents ~max_rounds ()
+
+(* --------------------------------------------------------------- combined *)
+
+(* Engine path for the Combined protocol: the push-pull frontier half and
+   the visit-exchange walker half composed in one round loop, consuming the
+   rng in exactly Combined.run's order at [shards = 1] (placement draws,
+   then per round: n push-pull picks, k walker moves). *)
+(* lint: hot *)
+let combined ?obs ?trace ?(lazy_walk = false) ?(shards = 1) ?pool rng g
+    ~source ~agents ~max_rounds () =
+  let n = Graph.n g in
+  check_common ~who:"Engine.combined" ~n ~source ~max_rounds ~shards;
+  let pos = place_agents ~who:"Engine.combined" rng g agents in
+  let k = Array.length pos in
+  let vertex_time = Array.make n max_int in
+  let agent_time = Array.make k max_int in
+  vertex_time.(source) <- 0;
+  let informed_vertices = ref 1 in
+  let contacts = ref 0 in
+  for a = 0 to k - 1 do
+    if pos.(a) = source then begin
+      agent_time.(a) <- 0;
+      incr contacts
+    end
+  done;
+  let curve = Curve_buf.create ~hint:max_rounds in
+  Curve_buf.push curve 1;
+  let picks = if shards = 1 then [||] else Array.make n 0 in
+  let moves = if shards = 1 then [||] else Array.make k 0 in
+  let pool = if shards = 1 then None else Some (get_pool pool) in
+  (* hoisted closures: allocated once per run, not per round like the
+     legacy kernel's *)
+  let inform_vertex round v =
+    if vertex_time.(v) = max_int then begin
+      vertex_time.(v) <- round;
+      incr informed_vertices
+    end
+  in
+  let exchange round u v =
+    incr contacts;
+    Obs.contact obs u v;
+    let u_before = vertex_time.(u) < round
+    and v_before = vertex_time.(v) < round in
+    if u_before && not v_before then inform_vertex round v
+    else if v_before && not u_before then inform_vertex round u
+  in
+  let t = ref 0 in
+  while !informed_vertices < n && !t < max_rounds do
+    incr t;
+    let round = !t in
+    Obs.round_start obs round;
+    span_begin_arg trace "combined.round" round;
+    let c0 = !contacts in
+    (* push-pull half: every vertex calls a random neighbor; exchanges use
+       the informed-before-this-round state *)
+    (match pool with
+    | None ->
+        span_begin trace "push_pull";
+        for u = 0 to n - 1 do
+          exchange round u (Graph.random_neighbor g rng u)
+        done;
+        span_end trace
+    | Some pool ->
+        let rngs = Rng.split_n rng shards in
+        let (_ : unit array) =
+          Par.parallel_for ?trace ~label:"combined.draw" pool ~n ~shards (* lint: allow R10 — label Some + shard closure: per round, not per contact *)
+            (fun ~shard ~lo ~hi ->
+              let r = rngs.(shard) in
+              for u = lo to hi - 1 do
+                picks.(u) <- Graph.random_neighbor g r u
+              done)
+        in
+        span_begin trace "push_pull.merge";
+        for u = 0 to n - 1 do
+          exchange round u picks.(u)
+        done;
+        span_end trace);
+    (* visit-exchange half: agents step, previously informed agents inform
+       their vertex, uninformed agents learn from informed vertices *)
+    (match pool with
+    | None ->
+        span_begin trace "walk";
+        move_agents_seq ?obs ~lazy_walk rng g pos;
+        span_end trace
+    | Some pool ->
+        move_agents_sharded ?obs ?trace ~lazy_walk ~shards pool rng g pos
+          moves);
+    span_begin trace "spread";
+    for a = 0 to k - 1 do
+      if agent_time.(a) < round then begin
+        let v = pos.(a) in
+        if vertex_time.(v) = max_int then begin
+          incr contacts;
+          Obs.contact obs a v
+        end;
+        inform_vertex round v
+      end
+    done;
+    for a = 0 to k - 1 do
+      if agent_time.(a) = max_int && vertex_time.(pos.(a)) <= round then begin
+        agent_time.(a) <- round;
+        incr contacts;
+        Obs.contact obs pos.(a) a
+      end
+    done;
+    span_end trace;
+    Curve_buf.push curve !informed_vertices;
+    trace_round_end trace ~informed:!informed_vertices
+      ~contacts_delta:(!contacts - c0);
+    Obs.round_end obs ~round ~informed:!informed_vertices ~contacts:!contacts
+  done;
+  let rounds_run = !t in
+  let broadcast_time =
+    if !informed_vertices = n then Some rounds_run else None
+  in
+  Run_result.make ~broadcast_time ~rounds_run
     ~informed_curve:(Curve_buf.contents curve)
     ~contacts:!contacts ()

@@ -34,7 +34,23 @@
 
     All kernels raise [Invalid_argument] on an out-of-range [source], a
     negative [max_rounds], or [shards < 1].  [?pool] defaults to a
-    sequential one-job pool and is only consulted when [shards > 1]. *)
+    sequential one-job pool and is only consulted when [shards > 1].
+
+    {2 Sparse walkers}
+
+    The walker kernels ({!visit_exchange}, {!meet_exchange}) take
+    [?walkers], a {!Sparse_walkers.mode}.  [Dense] (the default) keeps the
+    per-agent position array and every guarantee above.  [Sparse] switches
+    to {!Sparse_walkers}' count-compressed representation — per-vertex
+    (uninformed, informed) counts swept in CSR order — which removes every
+    O(k) per-agent structure and unlocks VE/ME at n = 10^7.  Sparse runs
+    are a pure function of the seed but {e not} bit-identical to dense
+    (agent identity is erased; experiment A10 gates the distributional
+    agreement), run sequentially ([?shards]/[?pool] are ignored), report
+    the aggregate [on_occupancy] hook instead of per-agent
+    [on_contact]/[on_walker_move] events, and reject [?traffic]
+    ([Invalid_argument]).  [Auto] picks sparse when the placement yields at
+    least {!Sparse_walkers.auto_threshold} agents. *)
 
 val push :
   ?traffic:Traffic.t ->
@@ -75,6 +91,7 @@ val visit_exchange :
   ?obs:Rumor_obs.Instrument.t ->
   ?trace:Rumor_obs.Trace.t ->
   ?lazy_walk:bool ->
+  ?walkers:Sparse_walkers.mode ->
   ?shards:int ->
   ?pool:Rumor_par.Pool.t ->
   Rumor_prob.Rng.t ->
@@ -92,6 +109,7 @@ val meet_exchange :
   ?obs:Rumor_obs.Instrument.t ->
   ?trace:Rumor_obs.Trace.t ->
   ?lazy_walk:bool ->
+  ?walkers:Sparse_walkers.mode ->
   ?shards:int ->
   ?pool:Rumor_par.Pool.t ->
   Rumor_prob.Rng.t ->
@@ -103,3 +121,22 @@ val meet_exchange :
   Run_result.t
 (** Meet-Exchange; an omitted [?lazy_walk] resolves to bipartiteness of the
     graph, exactly as {!Meet_exchange.run}. *)
+
+val combined :
+  ?obs:Rumor_obs.Instrument.t ->
+  ?trace:Rumor_obs.Trace.t ->
+  ?lazy_walk:bool ->
+  ?shards:int ->
+  ?pool:Rumor_par.Pool.t ->
+  Rumor_prob.Rng.t ->
+  Rumor_graph.Graph.t ->
+  source:int ->
+  agents:Rumor_agents.Placement.spec ->
+  max_rounds:int ->
+  unit ->
+  Run_result.t
+(** The Combined protocol (push–pull frontier half + visit-exchange walker
+    half in one round) on the engine's flat state; bit-identical to
+    {!Combined.run} at [?shards:1] on the same seed, obs stream included.
+    [?lazy_walk] defaults to [false], as in the legacy module.  Dense
+    walkers only — the sparse representation has no combined kernel. *)

@@ -57,6 +57,16 @@ let with_engine engine f =
   current_engine := engine;
   Fun.protect ~finally:(fun () -> current_engine := saved) f
 
+(* And for the walker representation: with the dense default every engine
+   cell keeps the bit-identical contract; [Sparse]/[Auto] are opt-in and
+   gated distributionally by A10. *)
+let current_walkers : Protocol.walkers ref = ref Protocol.Dense
+
+let with_walkers walkers f =
+  let saved = !current_walkers in
+  current_walkers := walkers;
+  Fun.protect ~finally:(fun () -> current_walkers := saved) f
+
 (* And for the tracer: every measured cell's replications record into the
    one suite-wide tracer (spans never change results, see Replicate). *)
 let current_trace : Rumor_obs.Trace.t option ref = ref None
@@ -68,8 +78,8 @@ let with_trace trace f =
 
 let measure_cell ~seed ~reps ~graph ~spec ~max_rounds =
   Replicate.broadcast_times ?sink:!metrics_sink ~jobs:!current_jobs
-    ?trace:!current_trace ~engine:!current_engine ~seed ~reps ~graph ~spec
-    ~max_rounds ()
+    ?trace:!current_trace ~engine:!current_engine ~walkers:!current_walkers
+    ~seed ~reps ~graph ~spec ~max_rounds ()
 
 let time_cell (m : Replicate.measurement) =
   let s = m.summary in
@@ -1712,6 +1722,123 @@ let a9_run profile ~seed =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* A10: dense vs sparse walker representations agree distributionally  *)
+(* ------------------------------------------------------------------ *)
+
+(* The sparse-walker engine's end-to-end sanity gate.  Count-compressed
+   occupancy is exchangeable with per-agent positions up to informed
+   status, so the broadcast-time distribution must be the same law; the
+   representations only reshuffle which walker takes which step.  The
+   finite-sample analogue: paired dense/sparse cells on the same seeds
+   must have mean broadcast times within a fixed constant band.  We use
+   the golden ratio phi as the (generous) band edge — any representation
+   bug (mass leak, lost witness, wrong self-loop slot) blows far past
+   it, while honest sampling noise at these reps sits well inside. *)
+let a10_run profile ~seed =
+  let n = pick profile ~quick:256 ~full:1024 in
+  let reps = reps profile in
+  let seeds_per_cell = 3 in
+  let phi = 1.618033988749895 in
+  let lo = 1.0 /. phi and hi = phi in
+  let connected_er rng ~n ~p =
+    let rec go () =
+      let g = Gen_random.erdos_renyi rng ~n ~p in
+      if Rumor_graph.Algo.is_connected g then g else go ()
+    in
+    go ()
+  in
+  let side = int_of_float (Float.round (sqrt (float_of_int n))) in
+  let families =
+    [
+      ( "complete",
+        let g = Gen_basic.complete n in
+        fun _rng -> (g, 0) );
+      ( Printf.sprintf "torus %dx%d" side side,
+        let g = Gen_basic.torus ~rows:side ~cols:side in
+        fun _rng -> (g, 0) );
+      ( "G(n,p)",
+        let p = 2.0 *. log (float_of_int n) /. float_of_int n in
+        fun rng -> (connected_er rng ~n ~p, 0) );
+      ( "random regular",
+        let d = max 6 (ilog2 n) in
+        fun rng -> (Gen_random.random_regular_connected rng ~n ~d, 0) );
+    ]
+  in
+  let specs = [ ("visit-exchange", vx); ("meet-exchange", mx) ] in
+  (* Both columns force the engine path; only [walkers] differs.  The same
+     cell seed drives the dense and sparse measurement of a pair, so the
+     comparison is paired: same graphs, same placements, independent walk
+     randomness past the divergence point. *)
+  let measure_walkers ~walkers ~seed ~graph ~spec =
+    Replicate.broadcast_times ?sink:!metrics_sink ~jobs:!current_jobs
+      ?trace:!current_trace ~engine:true ~walkers ~seed ~reps ~graph ~spec
+      ~max_rounds:(100 * n) ()
+  in
+  let rows =
+    List.concat
+      (List.mapi
+         (fun fi (family, graph) ->
+           List.mapi
+             (fun si (sname, spec) ->
+               let i = (fi * List.length specs) + si in
+               let mean_over walkers =
+                 let acc = ref 0.0 in
+                 for s = 0 to seeds_per_cell - 1 do
+                   let m =
+                     measure_walkers ~walkers ~seed:(cell_seed seed i s) ~graph
+                       ~spec
+                   in
+                   acc := !acc +. Replicate.mean m
+                 done;
+                 !acc /. float_of_int seeds_per_cell
+               in
+               let dense = mean_over Protocol.Dense in
+               let sparse = mean_over Protocol.Sparse in
+               let ratio = sparse /. dense in
+               [
+                 family;
+                 sname;
+                 Printf.sprintf "%.1f" dense;
+                 Printf.sprintf "%.1f" sparse;
+                 Printf.sprintf "%.2f" ratio;
+                 (if ratio >= lo && ratio <= hi then "ok" else "FAIL");
+               ])
+             specs)
+         families)
+  in
+  [
+    Table.make
+      ~aligns:
+        [
+          Table.Left; Table.Left; Table.Right; Table.Right; Table.Right;
+          Table.Right;
+        ]
+      ~notes:
+        [
+          Printf.sprintf
+            "n = %d, %d base seeds x %d replications per cell; both columns \
+             run the engine kernels, dense per-agent positions vs \
+             count-compressed per-vertex occupancy" n seeds_per_cell reps;
+          Printf.sprintf
+            "verdict is ok iff the mean sparse/dense broadcast-time ratio \
+             lies in [%.3f, %.3f] (the golden-ratio band); the \
+             representations sample the same process, so only a kernel bug \
+             moves the mean" lo hi;
+          "sparse runs are seed-deterministic but not bit-identical to \
+           dense — this distributional gate is the contract (see \
+           Sparse_walkers)";
+        ]
+      ~title:"A10: dense vs sparse walker distributional gate"
+      ~claim:
+        "Count-compressed occupancy kernels (Sparse_walkers) simulate the \
+         same visit-/meet-exchange processes as the per-agent dense \
+         kernels: broadcast-time means agree within a constant band on \
+         every graph family"
+      ~header:[ "graph"; "protocol"; "dense"; "sparse"; "sparse/dense"; "verdict" ]
+      rows;
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* R9: social-network models — push-pull beats push ([12], [17])       *)
 (* ------------------------------------------------------------------ *)
 
@@ -1789,6 +1916,7 @@ let all =
     { id = "A7"; title = "push under transmission failures"; paper_ref = "Lemma 4 via [22]"; run = a7_run };
     { id = "A8"; title = "continuous-time meet-exchange"; paper_ref = "Section 2, [33], [34]"; run = a8_run };
     { id = "A9"; title = "sync vs async push constant-factor gate"; paper_ref = "Section 2, [41]"; run = a9_run };
+    { id = "A10"; title = "dense vs sparse walker distributional gate"; paper_ref = "Sections 3, 9"; run = a10_run };
     { id = "R1"; title = "sub-linear agents, random regular"; paper_ref = "Section 9, [14]"; run = r1_run };
     { id = "R2"; title = "sub-linear agents, 2-d torus"; paper_ref = "Section 2, [39]"; run = r2_run };
     { id = "R3"; title = "quasirandom push"; paper_ref = "Section 2, [19]"; run = r3_run };
@@ -1804,7 +1932,8 @@ let find id =
   let id = String.uppercase_ascii id in
   List.find_opt (fun e -> String.uppercase_ascii e.id = id) all
 
-let run_all ?ids ?metrics ?trace ?(jobs = 1) ?(engine = false) profile ~seed =
+let run_all ?ids ?metrics ?trace ?(jobs = 1) ?(engine = false)
+    ?(walkers = Protocol.Dense) profile ~seed =
   let selected =
     match ids with
     | None -> all
@@ -1835,4 +1964,6 @@ let run_all ?ids ?metrics ?trace ?(jobs = 1) ?(engine = false) profile ~seed =
   in
   with_opt_trace (fun () ->
       with_engine engine (fun () ->
-          with_jobs jobs (fun () -> List.map (fun e -> (e, run_one e)) selected)))
+          with_walkers walkers (fun () ->
+              with_jobs jobs (fun () ->
+                  List.map (fun e -> (e, run_one e)) selected))))

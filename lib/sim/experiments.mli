@@ -39,6 +39,7 @@ val run_all :
   ?trace:Rumor_obs.Trace.t ->
   ?jobs:int ->
   ?engine:bool ->
+  ?walkers:Protocol.walkers ->
   profile ->
   seed:int ->
   (t * Table.t list) list
@@ -58,6 +59,13 @@ val run_all :
     flat-frontier kernels ({!Replicate.broadcast_times}'s [~engine]); cells
     are bit-identical either way, so the flag only changes wall-clock.
 
+    [walkers] (default [Dense]) selects the walker representation for
+    engine cells ({!Replicate.broadcast_times}'s [?walkers]); only
+    meaningful with [engine].  [Sparse]/[Auto]-resolved-sparse cells are
+    seed-deterministic but not bit-identical to dense — the A10 gate
+    bounds the distributional drift.  A10 itself ignores this and always
+    measures both representations explicitly.
+
     [trace] records every experiment as a span named by its id, with each
     measured cell's per-rep instrumentation underneath
     ({!Replicate.broadcast_times}'s [?trace]); results are unchanged. *)
@@ -74,6 +82,11 @@ val with_jobs : int -> (unit -> 'a) -> 'a
 val with_engine : bool -> (unit -> 'a) -> 'a
 (** [with_engine on f] routes measured cells through the engine kernels for
     the dynamic extent of [f] (same scoping as {!with_jobs}). *)
+
+val with_walkers : Protocol.walkers -> (unit -> 'a) -> 'a
+(** [with_walkers w f] sets the engine walker representation for measured
+    cells within [f] (same scoping as {!with_jobs}; no effect unless the
+    engine flag is also on). *)
 
 val with_trace : Rumor_obs.Trace.t -> (unit -> 'a) -> 'a
 (** [with_trace tr f] records every cell measured within [f] into [tr]

@@ -63,9 +63,14 @@ let resolve_lazy laziness g =
   | Lazy_auto -> Rumor_graph.Algo.is_bipartite g
 
 let engine_capable = function
-  | Push | Push_pull | Visit_exchange _ | Meet_exchange _ -> true
+  | Push | Push_pull | Visit_exchange _ | Meet_exchange _ | Combined _ -> true
   | Async_push | Async_push_pull | Async_meet_exchange _ -> true
-  | Combined _ | Pull | Quasi_push | Cobra _ | Frog _ | Flood -> false
+  | Pull | Quasi_push | Cobra _ | Frog _ | Flood -> false
+
+type walkers = P.Sparse_walkers.mode = Dense | Sparse | Auto
+
+let walkers_name = P.Sparse_walkers.mode_to_string
+let walkers_of_string = P.Sparse_walkers.mode_of_string
 
 let run ?traffic ?obs spec rng g ~source ~max_rounds =
   match spec with
@@ -106,7 +111,7 @@ let run ?traffic ?obs spec rng g ~source ~max_rounds =
         (P.Async_meet_exchange.run ?obs ~lazy_walk rng g ~source ~agents
            ~max_time:(float_of_int max_rounds))
 
-let run_engine ?traffic ?obs ?trace ?shards ?pool spec rng g ~source
+let run_engine ?traffic ?obs ?trace ?walkers ?shards ?pool spec rng g ~source
     ~max_rounds =
   (* one top-level span per run, named after the protocol; the kernels hang
      their per-round spans under it *)
@@ -120,12 +125,18 @@ let run_engine ?traffic ?obs ?trace ?shards ?pool spec rng g ~source
             ~max_rounds ()
       | Visit_exchange { agents; laziness } ->
           let lazy_walk = resolve_lazy laziness g in
-          P.Engine.visit_exchange ?traffic ?obs ?trace ~lazy_walk ?shards ?pool
-            rng g ~source ~agents ~max_rounds ()
+          P.Engine.visit_exchange ?traffic ?obs ?trace ~lazy_walk ?walkers
+            ?shards ?pool rng g ~source ~agents ~max_rounds ()
       | Meet_exchange { agents; laziness } ->
           let lazy_walk = resolve_lazy laziness g in
-          P.Engine.meet_exchange ?traffic ?obs ?trace ~lazy_walk ?shards ?pool
-            rng g ~source ~agents ~max_rounds ()
+          P.Engine.meet_exchange ?traffic ?obs ?trace ~lazy_walk ?walkers
+            ?shards ?pool rng g ~source ~agents ~max_rounds ()
+      | Combined { agents; laziness } ->
+          (* dense walkers only: the sparse representation has no combined
+             kernel, so [walkers] is not forwarded here *)
+          let lazy_walk = resolve_lazy laziness g in
+          P.Engine.combined ?obs ?trace ~lazy_walk ?shards ?pool rng g ~source
+            ~agents ~max_rounds ()
       (* the DES kernels are sequential: [shards]/[pool] are irrelevant (and
          ignored), and like [run] the continuous processes have no traffic
          model.  Bit-identical to [run] either way — see Async_engine. *)
@@ -142,9 +153,9 @@ let run_engine ?traffic ?obs ?trace ?shards ?pool spec rng g ~source
       | Async_meet_exchange { agents; laziness } ->
           let lazy_walk = resolve_lazy laziness g in
           P.Async_meet_exchange.to_run_result
-            (P.Async_engine.meet_exchange ?obs ?trace ~lazy_walk rng g ~source
-               ~agents ~max_time:(float_of_int max_rounds))
-      | (Combined _ | Pull | Quasi_push | Cobra _ | Frog _ | Flood) as other ->
+            (P.Async_engine.meet_exchange ?obs ?trace ~lazy_walk ?walkers rng g
+               ~source ~agents ~max_time:(float_of_int max_rounds))
+      | (Pull | Quasi_push | Cobra _ | Frog _ | Flood) as other ->
           (* no engine kernel (yet): fall back to the legacy implementation,
              which consumes the rng identically for every [shards] value *)
           run ?traffic ?obs other rng g ~source ~max_rounds)

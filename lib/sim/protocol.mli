@@ -79,13 +79,25 @@ val run :
 
 val engine_capable : spec -> bool
 (** Whether {!run_engine} has a flat kernel for this spec (push,
-    push-pull, visit-exchange, meet-exchange, and the three
+    push-pull, visit-exchange, meet-exchange, combined, and the three
     continuous-time specs via {!Rumor_protocols.Async_engine}). *)
+
+type walkers = Rumor_protocols.Sparse_walkers.mode = Dense | Sparse | Auto
+(** Walker representation for the agent-based engine kernels — see
+    {!Rumor_protocols.Engine}.  [Dense] keeps per-agent positions and the
+    bit-identical-to-legacy contract; [Sparse] switches to count-compressed
+    per-vertex occupancy (seed-deterministic, distributionally equivalent —
+    gated by experiment A10 — but not bit-identical); [Auto] picks sparse
+    above {!Rumor_protocols.Sparse_walkers.auto_threshold} agents. *)
+
+val walkers_name : walkers -> string
+val walkers_of_string : string -> walkers option
 
 val run_engine :
   ?traffic:Rumor_protocols.Traffic.t ->
   ?obs:Rumor_obs.Instrument.t ->
   ?trace:Rumor_obs.Trace.t ->
+  ?walkers:walkers ->
   ?shards:int ->
   ?pool:Rumor_par.Pool.t ->
   spec ->
@@ -105,6 +117,9 @@ val run_engine :
     which is sequential and bit-identical to {!run} on the same seed for
     every [shards] value ([shards]/[pool] are ignored).  Specs without an
     engine kernel fall back to {!run}.
+    [walkers] (default [Dense]) selects the walker representation for
+    visit-exchange, meet-exchange and async-meet-exchange; the other specs
+    (including combined, which is dense-only) ignore it.
     [trace] wraps the whole run in an ["engine.<name>"] span and threads
     through to the kernel's per-round instrumentation
     ({!Rumor_protocols.Engine}); it never changes the result. *)

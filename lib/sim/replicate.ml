@@ -64,7 +64,8 @@ let measure ?(on_capped = `Keep) ?record ?(jobs = 1) ?trace ~seed ~reps f =
   { times; capped = !capped; summary = Stats.summarize times }
 
 let broadcast_times ?on_capped ?sink ?(graph_name = "custom") ?jobs ?trace
-    ?(engine = false) ?shards ~seed ~reps ~graph ~spec ~max_rounds () =
+    ?(engine = false) ?walkers ?shards ~seed ~reps ~graph ~spec ~max_rounds ()
+    =
   let shard_count = match shards with Some s -> s | None -> 1 in
   (* [graph rng] re-samples per replication inside [f]; each rep writes |V|
      to its own slot, read back by the rep-ordered record pass. *)
@@ -98,7 +99,8 @@ let broadcast_times ?on_capped ?sink ?(graph_name = "custom") ?jobs ?trace
         (* engine shards run on the default sequential pool here: the rep
            level already owns the [?jobs] domains, and sharded results are
            jobs-independent by construction anyway *)
-        Protocol.run_engine ?trace ?shards spec rng g ~source ~max_rounds
+        Protocol.run_engine ?trace ?walkers ?shards spec rng g ~source
+          ~max_rounds
       else
         Trace.with_span trace ("run." ^ Protocol.name spec) (fun () ->
             Protocol.run spec rng g ~source ~max_rounds))

@@ -71,6 +71,7 @@ val broadcast_times :
   ?jobs:int ->
   ?trace:Rumor_obs.Trace.t ->
   ?engine:bool ->
+  ?walkers:Protocol.walkers ->
   ?shards:int ->
   seed:int ->
   reps:int ->
@@ -101,7 +102,10 @@ val broadcast_times :
     flipping the flag is a pure performance choice.  [?shards] with
     [engine] re-keys randomness per round as documented on
     {!Protocol.run_engine}; the sharded work itself runs sequentially
-    inside each replication (the [?jobs] pool already owns the domains). *)
+    inside each replication (the [?jobs] pool already owns the domains).
+    [?walkers] (engine path only) selects the walker representation for the
+    agent-based kernels; [Sparse]/[Auto]-resolved-sparse runs stay
+    seed-deterministic but are not bit-identical to the dense records. *)
 
 val mean : measurement -> float
 val median : measurement -> float

@@ -262,6 +262,34 @@ let test_validation () =
          Async_engine.meet_exchange ~batch:(-3) (Rng.of_int 1) g ~source:0
            ~agents:Placement.One_per_vertex ~max_time:10.0))
 
+(* The sparse meet-exchange path uses one aggregate rate-k clock over a
+   Fenwick occupancy index; it is seed-deterministic but not bit-identical
+   to the dense per-agent-clock path, so we check completion, conservation
+   of the agent count, and determinism. *)
+let test_meet_exchange_sparse () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun seed ->
+          let run () =
+            Async_engine.meet_exchange ~walkers:P.Sparse_walkers.Sparse
+              (Rng.of_int seed) g ~source:0 ~agents:(Placement.Stationary 14)
+              ~max_time:1e6
+          in
+          let r = run () in
+          Alcotest.(check bool)
+            (Printf.sprintf "sparse %s seed=%d: completes" name seed)
+            true
+            (r.P.Async_meet_exchange.broadcast_time <> None);
+          Alcotest.(check int)
+            (name ^ ": agent count") 14 r.P.Async_meet_exchange.agents;
+          Alcotest.(check int)
+            (name ^ ": all agents informed") 14 r.P.Async_meet_exchange.informed;
+          check_meet_result (Printf.sprintf "sparse %s seed=%d" name seed) r
+            (run ()))
+        seeds)
+    (families ())
+
 let suite =
   [
     Alcotest.test_case "push/push-pull match legacy (queues, obs)" `Quick
@@ -275,6 +303,8 @@ let suite =
       test_meet_exchange_lazy_override_matches;
     Alcotest.test_case "meet-exchange is batch-independent" `Quick
       test_meet_exchange_batch_independent;
+    Alcotest.test_case "sparse meet-exchange completes deterministically" `Quick
+      test_meet_exchange_sparse;
     Alcotest.test_case "to_run_result projection" `Quick test_to_run_result;
     Alcotest.test_case "calendar stats out-parameter" `Quick test_queue_stats_out;
     Alcotest.test_case "validation" `Quick test_validation;

@@ -143,6 +143,78 @@ let test_categorical_point_mass () =
     Alcotest.(check int) "all mass on index 1" 1 (Dist.categorical g [| 0.0; 5.0; 0.0 |])
   done
 
+let test_multinomial_conservation () =
+  let g = Rng.of_int 35 in
+  for trial = 1 to 200 do
+    let bins = 1 + (trial mod 7) in
+    let w = Array.init bins (fun i -> float_of_int ((i mod 3) + 1)) in
+    let n = trial * 13 mod 500 in
+    let counts = Dist.multinomial g n w in
+    Alcotest.(check int) "bin count" bins (Array.length counts);
+    Array.iter (fun c -> if c < 0 then Alcotest.failf "negative count %d" c) counts;
+    Alcotest.(check int)
+      (Printf.sprintf "trial %d conserves n" trial)
+      n
+      (Array.fold_left ( + ) 0 counts)
+  done
+
+let test_multinomial_frequencies () =
+  (* chi-square goodness of fit against the cell probabilities: with 3
+     cells (2 degrees of freedom) the 99.9% quantile is 13.8, so a correct
+     sampler fails with probability ~0.001 on this fixed seed *)
+  let g = Rng.of_int 36 in
+  let w = [| 1.0; 2.0; 7.0 |] in
+  let total_w = 10.0 in
+  let n = 2000 and reps = 50 in
+  let counts = Array.make 3 0 in
+  for _ = 1 to reps do
+    let c = Dist.multinomial g n w in
+    Array.iteri (fun i x -> counts.(i) <- counts.(i) + x) c
+  done;
+  let total = float_of_int (n * reps) in
+  let chi2 = ref 0.0 in
+  Array.iteri
+    (fun i c ->
+      let expected = total *. w.(i) /. total_w in
+      let d = float_of_int c -. expected in
+      chi2 := !chi2 +. (d *. d /. expected))
+    counts;
+  if !chi2 > 13.8 then
+    Alcotest.failf "chi-square %.2f exceeds the 99.9%% quantile 13.8" !chi2
+
+let test_multinomial_degenerate () =
+  let g = Rng.of_int 37 in
+  Alcotest.(check (array int)) "n=0" [| 0; 0 |] (Dist.multinomial g 0 [| 1.0; 1.0 |]);
+  Alcotest.(check (array int)) "single bin" [| 42 |] (Dist.multinomial g 42 [| 3.0 |]);
+  Alcotest.(check (array int)) "zero-weight bins get nothing" [| 0; 17; 0 |]
+    (Dist.multinomial g 17 [| 0.0; 5.0; 0.0 |]);
+  (* zero-weight tail: fp drift in the conditional splits must never leak
+     mass past the last positive bin *)
+  for _ = 1 to 100 do
+    let c = Dist.multinomial g 1000 [| 1.0; 1.0; 0.0; 0.0 |] in
+    Alcotest.(check int) "tail bin 2" 0 c.(2);
+    Alcotest.(check int) "tail bin 3" 0 c.(3)
+  done
+
+let test_multinomial_invalid () =
+  let g = Rng.of_int 38 in
+  (try
+     ignore (Dist.multinomial g 5 [||]);
+     Alcotest.fail "empty weights accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Dist.multinomial g 5 [| 0.0; 0.0 |]);
+     Alcotest.fail "all-zero weights accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Dist.multinomial g 5 [| 1.0; -1.0 |]);
+     Alcotest.fail "negative weight accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Dist.multinomial g (-1) [| 1.0 |]);
+    Alcotest.fail "n<0 accepted"
+  with Invalid_argument _ -> ()
+
 (* qcheck: binomial is symmetric under p <-> 1-p in distribution; check the
    means of coupled samples rather than exact symmetry. *)
 let prop_binomial_complement =
@@ -176,5 +248,9 @@ let suite =
     Alcotest.test_case "categorical frequencies" `Quick test_categorical_frequencies;
     Alcotest.test_case "categorical invalid args" `Quick test_categorical_invalid;
     Alcotest.test_case "categorical point mass" `Quick test_categorical_point_mass;
+    Alcotest.test_case "multinomial conservation" `Quick test_multinomial_conservation;
+    Alcotest.test_case "multinomial frequencies" `Quick test_multinomial_frequencies;
+    Alcotest.test_case "multinomial degenerate" `Quick test_multinomial_degenerate;
+    Alcotest.test_case "multinomial invalid args" `Quick test_multinomial_invalid;
     QCheck_alcotest.to_alcotest prop_binomial_complement;
   ]

@@ -149,6 +149,140 @@ let test_meet_exchange_matches_legacy () =
         seeds)
     (families ())
 
+let test_combined_matches_legacy () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun seed ->
+          List.iter
+            (fun lazy_walk ->
+              let legacy =
+                P.Combined.run ~lazy_walk (Rng.of_int seed) g ~source:0
+                  ~agents:(Placement.Stationary 12) ~max_rounds:100_000 ()
+              in
+              let engine =
+                Engine.combined ~lazy_walk (Rng.of_int seed) g ~source:0
+                  ~agents:(Placement.Stationary 12) ~max_rounds:100_000 ()
+              in
+              check_same_result
+                (Printf.sprintf "combined %s seed=%d lazy=%b" name seed lazy_walk)
+                legacy engine)
+            [ false; true ])
+        seeds)
+    (families ())
+
+(* ----------------------------------------------- sparse walker kernels *)
+
+(* Sparse runs are not bit-identical to dense (A10 gates the distribution);
+   here we check the exact invariants: completion, seed determinism, the
+   occupancy hook, and the dense-only restrictions. *)
+
+let sparse = Engine.visit_exchange ~walkers:P.Sparse_walkers.Sparse
+
+let test_sparse_visit_exchange_completes () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun seed ->
+          let r =
+            sparse (Rng.of_int seed) g ~source:0
+              ~agents:(Placement.Stationary 12) ~max_rounds:100_000 ()
+          in
+          Alcotest.(check bool) (name ^ ": completed") true (Run_result.completed r);
+          Alcotest.(check bool)
+            (name ^ ": all agents informed")
+            true
+            (r.Run_result.all_agents_informed <> None);
+          let curve = r.Run_result.informed_curve in
+          Alcotest.(check int)
+            (name ^ ": curve ends at n")
+            (Graph.n g)
+            curve.(Array.length curve - 1);
+          (* seed-deterministic: the same run twice is identical *)
+          let r2 =
+            sparse (Rng.of_int seed) g ~source:0
+              ~agents:(Placement.Stationary 12) ~max_rounds:100_000 ()
+          in
+          check_same_result (Printf.sprintf "sparse ve %s seed=%d" name seed) r r2)
+        seeds)
+    (families ())
+
+let test_sparse_meet_exchange_completes () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun seed ->
+          let r =
+            Engine.meet_exchange ~walkers:P.Sparse_walkers.Sparse
+              (Rng.of_int seed) g ~source:0 ~agents:(Placement.Stationary 14)
+              ~max_rounds:20_000 ()
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "sparse me %s seed=%d: all informed" name seed)
+            true
+            (r.Run_result.all_agents_informed <> None);
+          let r2 =
+            Engine.meet_exchange ~walkers:P.Sparse_walkers.Sparse
+              (Rng.of_int seed) g ~source:0 ~agents:(Placement.Stationary 14)
+              ~max_rounds:20_000 ()
+          in
+          check_same_result (Printf.sprintf "sparse me %s seed=%d" name seed) r r2)
+        seeds)
+    (families ())
+
+let test_sparse_occupancy_hook () =
+  let g = Gen.torus ~rows:5 ~cols:5 in
+  let rec_ = Instrument.Recorder.create () in
+  let (_ : Run_result.t) =
+    sparse
+      ~obs:(Instrument.Recorder.instrument rec_)
+      (Rng.of_int 3) g ~source:0 ~agents:(Placement.Stationary 30)
+      ~max_rounds:100_000 ()
+  in
+  Alcotest.(check bool) "occupancy events fired" true
+    (Instrument.Recorder.occupancy_events rec_ > 0);
+  (match Instrument.Recorder.last_occupied rec_ with
+  | None -> Alcotest.fail "no occupancy recorded"
+  | Some occ ->
+      Alcotest.(check bool) "occupied in range" true (occ >= 1 && occ <= 25));
+  (* dense kernels do not fire the aggregate hook *)
+  let rec_d = Instrument.Recorder.create () in
+  let (_ : Run_result.t) =
+    Engine.visit_exchange
+      ~obs:(Instrument.Recorder.instrument rec_d)
+      (Rng.of_int 3) g ~source:0 ~agents:(Placement.Stationary 30)
+      ~max_rounds:100_000 ()
+  in
+  Alcotest.(check int) "dense fires none" 0
+    (Instrument.Recorder.occupancy_events rec_d)
+
+let test_sparse_rejects_traffic () =
+  let g = Gen.complete 8 in
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "ve traffic + sparse" true
+    (bad (fun () ->
+         sparse ~traffic:(Traffic.create g) (Rng.of_int 1) g ~source:0
+           ~agents:(Placement.Stationary 6) ~max_rounds:10 ()));
+  Alcotest.(check bool) "me traffic + sparse" true
+    (bad (fun () ->
+         Engine.meet_exchange ~walkers:P.Sparse_walkers.Sparse
+           ~traffic:(Traffic.create g) (Rng.of_int 1) g ~source:0
+           ~agents:(Placement.Stationary 6) ~max_rounds:10 ()))
+
+let test_walkers_auto_resolution () =
+  (* below the threshold Auto is the dense path: bit-identical to legacy *)
+  let g = Gen.complete 16 in
+  let legacy =
+    P.Visit_exchange.run ~lazy_walk:false (Rng.of_int 5) g ~source:0
+      ~agents:(Placement.Stationary 12) ~max_rounds:100_000 ()
+  in
+  let auto =
+    Engine.visit_exchange ~walkers:P.Sparse_walkers.Auto ~lazy_walk:false
+      (Rng.of_int 5) g ~source:0 ~agents:(Placement.Stationary 12)
+      ~max_rounds:100_000 ()
+  in
+  check_same_result "auto below threshold = dense = legacy" legacy auto
+
 (* ------------------------------------- observation and traffic streams *)
 
 let record_obs run =
@@ -389,4 +523,14 @@ let suite =
     Alcotest.test_case "max_int cap: walkers" `Quick test_huge_cap_walkers;
     Alcotest.test_case "argument validation" `Quick test_validation;
     Alcotest.test_case "curve buffer" `Quick test_curve_buf;
+    Alcotest.test_case "combined = legacy (seeds x families x lazy)" `Quick
+      test_combined_matches_legacy;
+    Alcotest.test_case "sparse visit-exchange completes deterministically" `Quick
+      test_sparse_visit_exchange_completes;
+    Alcotest.test_case "sparse meet-exchange completes deterministically" `Quick
+      test_sparse_meet_exchange_completes;
+    Alcotest.test_case "sparse occupancy hook" `Quick test_sparse_occupancy_hook;
+    Alcotest.test_case "sparse rejects traffic" `Quick test_sparse_rejects_traffic;
+    Alcotest.test_case "auto below threshold is dense" `Quick
+      test_walkers_auto_resolution;
   ]

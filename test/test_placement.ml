@@ -73,6 +73,44 @@ let test_stationary_weights_probabilities () =
   Alcotest.(check bool) "leaf probability" true
     (Float.abs (Rumor_prob.Alias.probability alias 1 -. (1.0 /. 6.0)) < 1e-9)
 
+(* place_counts is the histogram of place on the same rng stream: same
+   spec, same seed, identical per-vertex totals — and both leave the
+   generator in the same state. *)
+let test_place_counts_is_histogram () =
+  let g = Gen.star ~leaves:20 in
+  List.iter
+    (fun spec ->
+      let pos = Placement.place (Rng.of_int 76) spec g in
+      let rng = Rng.of_int 76 in
+      let counts = Placement.place_counts rng spec g in
+      let hist = Array.make (Graph.n g) 0 in
+      Array.iter (fun v -> hist.(v) <- hist.(v) + 1) pos;
+      Alcotest.(check (array int))
+        "histogram of place" hist counts;
+      (* identical rng consumption: the next draw agrees with a generator
+         that ran place on the same seed *)
+      let rng' = Rng.of_int 76 in
+      ignore (Placement.place rng' spec g);
+      Alcotest.(check int) "rng state" (Rng.int rng' 1_000_000)
+        (Rng.int rng 1_000_000))
+    [
+      Placement.Stationary 37;
+      Placement.Linear 1.5;
+      Placement.One_per_vertex;
+      Placement.All_at (3, 5);
+    ]
+
+let test_place_counts_invalid () =
+  let g = Gen.path 5 in
+  (try
+     ignore (Placement.place_counts (Rng.of_int 77) (Placement.Stationary 0) g);
+     Alcotest.fail "zero agents accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Placement.place_counts (Rng.of_int 77) (Placement.All_at (9, 2)) g);
+    Alcotest.fail "out-of-range vertex accepted"
+  with Invalid_argument _ -> ()
+
 let suite =
   [
     Alcotest.test_case "counts" `Quick test_counts;
@@ -84,4 +122,7 @@ let suite =
     Alcotest.test_case "stationary uniform on regular" `Quick
       test_stationary_on_regular_is_uniform;
     Alcotest.test_case "stationary weights exact" `Quick test_stationary_weights_probabilities;
+    Alcotest.test_case "place_counts is place histogram" `Quick
+      test_place_counts_is_histogram;
+    Alcotest.test_case "place_counts invalid args" `Quick test_place_counts_invalid;
   ]

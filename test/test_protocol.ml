@@ -38,7 +38,7 @@ let test_engine_capable () =
       (Protocol.async_push, true);
       (Protocol.async_push_pull, true);
       (Protocol.async_meet_exchange (), true);
-      (Protocol.combined (), false);
+      (Protocol.combined (), true);
       (Protocol.pull, false);
       (Protocol.flood, false);
     ]
